@@ -1,0 +1,265 @@
+//! Brandes' betweenness centrality for unweighted graphs.
+//!
+//! One BFS per source computes shortest-path counts `σ`, then a reverse
+//! sweep accumulates dependencies `δ(v) = Σ_{w: v∈pred(w)} σ(v)/σ(w) ·
+//! (1 + δ(w))`. Predecessors are recognized by the distance test
+//! `dist[v] = dist[w] − 1`, so no predecessor lists are materialized.
+//! Per-source state is reset via the visit stack (touched vertices only),
+//! keeping each source at `O(m)` instead of `O(n + m)` re-initialization.
+//!
+//! For an undirected graph each unordered pair is counted from both
+//! endpoints, so the accumulated totals are halved at the end.
+
+use egobtw_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Reusable per-source workspace.
+struct Workspace {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    stack: Vec<VertexId>,
+    queue: std::collections::VecDeque<VertexId>,
+}
+
+impl Workspace {
+    fn new(n: usize) -> Self {
+        Workspace {
+            dist: vec![u32::MAX; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            stack: Vec::with_capacity(n),
+            queue: std::collections::VecDeque::with_capacity(n),
+        }
+    }
+
+    /// Runs one source and accumulates dependencies into `bc`.
+    fn accumulate_source(&mut self, g: &CsrGraph, s: VertexId, bc: &mut [f64]) {
+        self.stack.clear();
+        self.queue.clear();
+        self.dist[s as usize] = 0;
+        self.sigma[s as usize] = 1.0;
+        self.queue.push_back(s);
+        while let Some(v) = self.queue.pop_front() {
+            self.stack.push(v);
+            let dv = self.dist[v as usize];
+            for &w in g.neighbors(v) {
+                if self.dist[w as usize] == u32::MAX {
+                    self.dist[w as usize] = dv + 1;
+                    self.queue.push_back(w);
+                }
+                if self.dist[w as usize] == dv + 1 {
+                    self.sigma[w as usize] += self.sigma[v as usize];
+                }
+            }
+        }
+        for &w in self.stack.iter().rev() {
+            let dw = self.dist[w as usize];
+            let coeff = (1.0 + self.delta[w as usize]) / self.sigma[w as usize];
+            for &v in g.neighbors(w) {
+                if self.dist[v as usize] + 1 == dw {
+                    self.delta[v as usize] += self.sigma[v as usize] * coeff;
+                }
+            }
+            if w != s {
+                bc[w as usize] += self.delta[w as usize];
+            }
+        }
+        // Touched-only reset.
+        for &v in &self.stack {
+            self.dist[v as usize] = u32::MAX;
+            self.sigma[v as usize] = 0.0;
+            self.delta[v as usize] = 0.0;
+        }
+    }
+}
+
+/// Exact betweenness of every vertex (unordered pairs counted once).
+pub fn betweenness(g: &CsrGraph) -> Vec<f64> {
+    let n = g.n();
+    let mut bc = vec![0.0f64; n];
+    let mut ws = Workspace::new(n);
+    for s in 0..n as VertexId {
+        ws.accumulate_source(g, s, &mut bc);
+    }
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Parallel Brandes: sources are partitioned across `threads` workers via
+/// an atomic cursor; each worker accumulates into a private vector, summed
+/// at the end (no locks on the hot path).
+pub fn betweenness_parallel(g: &CsrGraph, threads: usize) -> Vec<f64> {
+    assert!(threads >= 1);
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    const CHUNK: usize = 16;
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut bc = vec![0.0f64; n];
+                    let mut ws = Workspace::new(n);
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for v in start..(start + CHUNK).min(n) {
+                            ws.accumulate_source(g, v as VertexId, &mut bc);
+                        }
+                    }
+                    bc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("brandes workers do not panic");
+    let mut bc = vec![0.0f64; n];
+    for part in partials {
+        for (acc, x) in bc.iter_mut().zip(part) {
+            *acc += x;
+        }
+    }
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// TopBW: the `k` highest-betweenness vertices (descending; ties toward
+/// smaller id), computed with [`betweenness_parallel`].
+pub fn top_bw(g: &CsrGraph, k: usize, threads: usize) -> Vec<(VertexId, f64)> {
+    let bc = betweenness_parallel(g, threads);
+    let mut v: Vec<(VertexId, f64)> = bc
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (i as VertexId, b))
+        .collect();
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_gen::{classic, gnp};
+
+    /// O(n³)-ish reference: pairwise dependency from two BFS sweeps.
+    fn brute(g: &CsrGraph) -> Vec<f64> {
+        let n = g.n();
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        let mut sigma = vec![vec![0.0f64; n]; n];
+        for s in 0..n {
+            dist[s][s] = 0;
+            sigma[s][s] = 1.0;
+            let mut q = std::collections::VecDeque::from([s as VertexId]);
+            while let Some(v) = q.pop_front() {
+                for &w in g.neighbors(v) {
+                    if dist[s][w as usize] == u32::MAX {
+                        dist[s][w as usize] = dist[s][v as usize] + 1;
+                        q.push_back(w);
+                    }
+                    if dist[s][w as usize] == dist[s][v as usize] + 1 {
+                        sigma[s][w as usize] += sigma[s][v as usize];
+                    }
+                }
+            }
+        }
+        let mut bc = vec![0.0f64; n];
+        for s in 0..n {
+            for t in s + 1..n {
+                if dist[s][t] == u32::MAX {
+                    continue;
+                }
+                for v in 0..n {
+                    if v == s || v == t {
+                        continue;
+                    }
+                    if dist[s][v] != u32::MAX
+                        && dist[t][v] != u32::MAX
+                        && dist[s][v] + dist[t][v] == dist[s][t]
+                    {
+                        bc[v] += sigma[s][v] * sigma[t][v] / sigma[s][t];
+                    }
+                }
+            }
+        }
+        bc
+    }
+
+    fn assert_close_vec(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_closed_form() {
+        // bc(i) on P_n = i · (n−1−i).
+        let g = classic::path(7);
+        let bc = betweenness(&g);
+        for i in 0..7usize {
+            assert!((bc[i] - (i * (6 - i)) as f64).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn star_closed_form() {
+        let g = classic::star(9);
+        let bc = betweenness(&g);
+        assert!((bc[0] - (8.0 * 7.0 / 2.0)).abs() < 1e-9);
+        for leaf in 1..9 {
+            assert!(bc[leaf].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complete_graph_zero() {
+        let bc = betweenness(&classic::complete(6));
+        assert!(bc.iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn matches_brute_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnp(28, 0.15, seed);
+            assert_close_vec(&betweenness(&g), &brute(&g));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_close_vec(&betweenness(&g), &brute(&g));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gnp(60, 0.1, 7);
+        let seq = betweenness(&g);
+        for threads in [1, 2, 4, 8] {
+            assert_close_vec(&betweenness_parallel(&g, threads), &seq);
+        }
+    }
+
+    #[test]
+    fn top_bw_orders_and_truncates() {
+        let g = classic::karate_club();
+        let top = top_bw(&g, 5, 2);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Karate club's highest-betweenness vertex is the president (0).
+        assert_eq!(top[0].0, 0);
+    }
+}

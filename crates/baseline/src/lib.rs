@@ -1,0 +1,21 @@
+//! The effectiveness baseline: classical betweenness centrality.
+//!
+//! The paper's Exp-6/7 compare top-k *ego*-betweenness (TopEBW) against
+//! top-k betweenness computed with Brandes' algorithm (TopBW), both on
+//! runtime (ego wins by orders of magnitude) and on the overlap of the two
+//! top-k sets (typically 60–90%, the evidence that ego-betweenness is a
+//! faithful cheap proxy).
+//!
+//! * [`brandes::betweenness`] — exact Brandes for unweighted graphs,
+//!   `O(nm)`;
+//! * [`brandes::betweenness_parallel`] — source-partitioned parallel
+//!   version (the paper runs TopBW with 64 threads to make the comparison
+//!   even remotely feasible);
+//! * [`brandes::top_bw`] — TopBW;
+//! * [`overlap`] — top-k set agreement metrics.
+
+pub mod brandes;
+pub mod overlap;
+
+pub use brandes::{betweenness, betweenness_parallel, top_bw};
+pub use overlap::{overlap_fraction, jaccard};

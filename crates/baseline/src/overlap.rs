@@ -1,0 +1,58 @@
+//! Agreement metrics between two top-k rankings.
+//!
+//! The paper reports the overlap `|BW ∩ EBW| / k` (Fig. 11(c–d),
+//! Fig. 12(c–d), and the starred rows of Tables III–IV).
+
+use egobtw_graph::{FxHashSet, VertexId};
+
+/// `|A ∩ B| / max(|A|, |B|)` — the paper's overlap percentage when both
+/// rankings have the same length `k`. Returns 1.0 for two empty sets.
+pub fn overlap_fraction(a: &[VertexId], b: &[VertexId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: FxHashSet<VertexId> = a.iter().copied().collect();
+    let inter = b.iter().filter(|v| sa.contains(v)).count();
+    inter as f64 / a.len().max(b.len()) as f64
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`.
+pub fn jaccard(a: &[VertexId], b: &[VertexId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: FxHashSet<VertexId> = a.iter().copied().collect();
+    let sb: FxHashSet<VertexId> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(overlap_fraction(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(overlap_fraction(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        assert!((overlap_fraction(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(overlap_fraction(&[], &[]), 1.0);
+        assert_eq!(overlap_fraction(&[], &[1]), 0.0);
+    }
+}

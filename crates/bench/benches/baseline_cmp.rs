@@ -1,0 +1,24 @@
+//! Criterion micro-version of Exp-6 (Fig. 11): top-k ego-betweenness vs
+//! Brandes betweenness on the same graph — the orders-of-magnitude gap
+//! that motivates the whole paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egobtw_baseline::{betweenness, betweenness_parallel};
+use egobtw_core::{opt_bsearch, OptParams};
+
+fn bench_baseline(c: &mut Criterion) {
+    let g = egobtw_gen::barabasi_albert(1_000, 4, 0xB4);
+    let mut group = c.benchmark_group("bw_vs_ebw");
+    group.sample_size(10);
+    group.bench_function("TopEBW_k50", |b| {
+        b.iter(|| opt_bsearch(&g, 50, OptParams::default()))
+    });
+    group.bench_function("Brandes_sequential", |b| b.iter(|| betweenness(&g)));
+    group.bench_function("Brandes_4_threads", |b| {
+        b.iter(|| betweenness_parallel(&g, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Kernel ablations (DESIGN.md §7): intersection strategy, edge
+//! membership, pair-key hashing, and triangle enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egobtw_graph::intersect::{
+    gallop_intersection_count, intersection_count, merge_intersection_count,
+};
+use egobtw_graph::{pack_pair, CsrGraph, EdgeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sorted_random(len: usize, universe: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = std::collections::BTreeSet::new();
+    while s.len() < len {
+        s.insert(rng.random_range(0..universe));
+    }
+    s.into_iter().collect()
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    // Balanced and skewed length ratios; skew is where galloping pays.
+    for (la, lb) in [(1_000usize, 1_000usize), (32, 10_000), (4, 50_000)] {
+        let a = sorted_random(la, 1 << 20, 1);
+        let b = sorted_random(lb, 1 << 20, 2);
+        let id = format!("{la}x{lb}");
+        group.bench_with_input(BenchmarkId::new("merge", &id), &(), |bench, _| {
+            bench.iter(|| merge_intersection_count(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", &id), &(), |bench, _| {
+            bench.iter(|| gallop_intersection_count(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", &id), &(), |bench, _| {
+            bench.iter(|| intersection_count(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_membership(c: &mut Criterion) {
+    let g = egobtw_gen::barabasi_albert(10_000, 8, 3);
+    let es = EdgeSet::from_graph(&g);
+    let mut rng = StdRng::seed_from_u64(9);
+    let queries: Vec<(u32, u32)> = (0..4_096)
+        .map(|_| {
+            (
+                rng.random_range(0..10_000u32),
+                rng.random_range(0..10_000u32),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("edge_membership");
+    group.bench_function("hash_set", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(u, v)| u != v && es.contains(u, v))
+                .count()
+        })
+    });
+    group.bench_function("csr_binary_search", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(u, v)| g.has_edge(u, v))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pair_hashing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let pairs: Vec<(u32, u32)> = (0..10_000)
+        .map(|_| (rng.random_range(0..1u32 << 20), rng.random_range(0..1u32 << 20)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let mut group = c.benchmark_group("pair_map_insert_10k");
+    group.bench_function("fx_packed_u64", |b| {
+        b.iter(|| {
+            let mut m: egobtw_graph::FxHashMap<u64, u32> = egobtw_graph::FxHashMap::default();
+            for &(u, v) in &pairs {
+                *m.entry(pack_pair(u, v)).or_insert(0) += 1;
+            }
+            m.len()
+        })
+    });
+    group.bench_function("siphash_tuple", |b| {
+        b.iter(|| {
+            let mut m: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+            for &(u, v) in &pairs {
+                let key = (u.min(v), u.max(v));
+                *m.entry(key).or_insert(0) += 1;
+            }
+            m.len()
+        })
+    });
+    group.bench_function("btreemap_packed_u64", |b| {
+        b.iter(|| {
+            let mut m: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+            for &(u, v) in &pairs {
+                *m.entry(pack_pair(u, v)).or_insert(0) += 1;
+            }
+            m.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let g: CsrGraph = egobtw_gen::barabasi_albert(20_000, 6, 7);
+    c.bench_function("triangle_count_20k_ba", |b| {
+        b.iter(|| egobtw_graph::triangle::count_triangles(&g))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_edge_membership,
+    bench_pair_hashing,
+    bench_triangles
+);
+criterion_main!(benches);

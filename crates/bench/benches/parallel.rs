@@ -1,0 +1,23 @@
+//! Criterion micro-version of Exp-5 (Fig. 10): VertexPEBW vs EdgePEBW
+//! across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egobtw_parallel::{edge_pebw, vertex_pebw};
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = egobtw_gen::barabasi_albert(5_000, 6, 0xBA11);
+    let mut group = c.benchmark_group("parallel_pebw");
+    group.sample_size(10);
+    for t in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("VertexPEBW", t), &t, |b, &t| {
+            b.iter(|| vertex_pebw(&g, t))
+        });
+        group.bench_with_input(BenchmarkId::new("EdgePEBW", t), &t, |b, &t| {
+            b.iter(|| edge_pebw(&g, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

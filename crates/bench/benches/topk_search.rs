@@ -1,0 +1,38 @@
+//! Criterion micro-version of Exp-1 (Fig. 6): BaseBSearch vs OptBSearch,
+//! plus the all-vertices kernels, on a small BA social network so the
+//! whole suite stays fast under `cargo bench --workspace`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egobtw_core::{base_bsearch, compute_all, compute_all_naive, opt_bsearch, OptParams};
+
+fn bench_searches(c: &mut Criterion) {
+    let g = egobtw_gen::barabasi_albert(2_000, 4, 0xBE);
+    let mut group = c.benchmark_group("topk_search");
+    group.sample_size(10);
+    for k in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::new("BaseBSearch", k), &k, |b, &k| {
+            b.iter(|| base_bsearch(&g, k))
+        });
+        group.bench_with_input(BenchmarkId::new("OptBSearch", k), &k, |b, &k| {
+            b.iter(|| opt_bsearch(&g, k, OptParams::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_vertices(c: &mut Criterion) {
+    let g = egobtw_gen::barabasi_albert(2_000, 4, 0xBE);
+    let mut group = c.benchmark_group("all_vertices");
+    group.sample_size(10);
+    group.bench_function("edge_centric_engine", |b| b.iter(|| compute_all(&g)));
+    group.bench_function("straightforward_per_ego", |b| {
+        b.iter(|| compute_all_naive(&g))
+    });
+    group.bench_function("ordered_engine_k_eq_n", |b| {
+        b.iter(|| base_bsearch(&g, g.n()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_searches, bench_all_vertices);
+criterion_main!(benches);

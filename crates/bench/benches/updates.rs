@@ -1,0 +1,58 @@
+//! Criterion micro-version of Exp-3 (Fig. 8): per-update cost of the
+//! exact local maintainer vs the lazy top-k maintainer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egobtw_dynamic::{LazyTopK, LocalIndex};
+use egobtw_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn updates(n: usize, count: usize, g: &egobtw_graph::CsrGraph) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(0xF8);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let u = rng.random_range(0..n as VertexId);
+        let v = rng.random_range(0..n as VertexId);
+        if u != v && !g.has_edge(u, v) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let n = 2_000;
+    let g = egobtw_gen::barabasi_albert(n, 4, 0xF8);
+    let ops = updates(n, 64, &g);
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+
+    group.bench_function("local_insert_delete_cycle", |b| {
+        let mut idx = LocalIndex::new(&g);
+        b.iter(|| {
+            for &(u, v) in &ops {
+                idx.insert_edge(u, v);
+            }
+            for &(u, v) in &ops {
+                idx.delete_edge(u, v);
+            }
+        })
+    });
+
+    group.bench_function("lazy_insert_delete_cycle_k50", |b| {
+        let mut lazy = LazyTopK::new(&g, 50);
+        b.iter(|| {
+            for &(u, v) in &ops {
+                lazy.insert_edge(u, v);
+            }
+            for &(u, v) in &ops {
+                lazy.delete_edge(u, v);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

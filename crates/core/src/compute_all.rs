@@ -1,0 +1,172 @@
+//! Exact ego-betweenness for *all* vertices in one edge-centric pass.
+//!
+//! When no early termination is possible (the `k = n` baseline of Exp-5,
+//! and the kernel the parallel crate distributes), the `cn` bookkeeping of
+//! the ordered engine is unnecessary: iterating every edge `(a,b)` exactly
+//! once and pairing the members of `C = N(a) ∩ N(b)` counts
+//!
+//! * each triangle `{a,b,x}` once per edge — writing the edge entry of the
+//!   *opposite* corner's map (`S_x(a,b) = 0`), so all three entries of a
+//!   triangle are produced by its three edges;
+//! * each diamond `{(a,b),x,y}` exactly once — at its center edge —
+//!   bumping `S_a(x,y)` (connector `b`) and `S_b(x,y)` (connector `a`).
+//!
+//! The result is the same complete map store the ordered engine produces,
+//! by a strictly simpler loop.
+
+use crate::smap::SMapStore;
+use crate::stats::SearchStats;
+use egobtw_graph::intersect::intersect_into;
+use egobtw_graph::{CsrGraph, EdgeSet, VertexId};
+
+/// Computes `CB(v)` for every vertex. Returns the values and work counters.
+pub fn compute_all(g: &CsrGraph) -> (Vec<f64>, SearchStats) {
+    let mut store = SMapStore::new(g.n());
+    let mut stats = SearchStats::default();
+    let edges = EdgeSet::from_graph(g);
+    process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
+    let cb = (0..g.n() as VertexId)
+        .map(|v| store.map(v).cb_given_degree(g.degree(v)))
+        .collect();
+    stats.exact_computations = g.n();
+    (cb, stats)
+}
+
+/// Processes the edges *owned* by vertices `lo..hi` (an edge `(u,v)` with
+/// `u < v` is owned by `u`), updating `store` in place. Factored out so the
+/// parallel crate can partition ownership ranges; the sequential
+/// [`compute_all`] is the single-range instantiation.
+pub fn process_edge_range(
+    g: &CsrGraph,
+    edges: &EdgeSet,
+    store: &mut SMapStore,
+    stats: &mut SearchStats,
+    lo: usize,
+    hi: usize,
+) {
+    let mut common: Vec<VertexId> = Vec::new();
+    for a in lo as VertexId..hi as VertexId {
+        for &b in g.neighbors(a) {
+            if b <= a {
+                continue;
+            }
+            common.clear();
+            intersect_into(g.neighbors(a), g.neighbors(b), &mut common);
+            apply_edge(edges, store, stats, a, b, &common);
+        }
+    }
+}
+
+/// Applies one edge's triangle/diamond contributions given its common
+/// neighborhood. Exposed for the parallel crate, which computes `common`
+/// itself and routes map access through locks.
+#[inline]
+pub fn apply_edge(
+    edges: &EdgeSet,
+    store: &mut SMapStore,
+    stats: &mut SearchStats,
+    a: VertexId,
+    b: VertexId,
+    common: &[VertexId],
+) {
+    for &x in common {
+        store.map_mut(x).set_edge(a, b);
+        stats.triangles_processed += 1; // counted once per (edge, corner) /3 below
+    }
+    // Each triangle is seen by three edges; normalize in the caller if an
+    // exact triangle count is needed. Here we count corner-writes.
+    for (i, &x) in common.iter().enumerate() {
+        for &y in common.iter().skip(i + 1) {
+            if !edges.contains(x, y) {
+                store.map_mut(a).add_connector(x, y);
+                store.map_mut(b).add_connector(x, y);
+                stats.diamonds_counted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::compute_all_naive;
+    use egobtw_gen::{classic, gnp, planted_partition, toy};
+
+    fn check(g: &CsrGraph) {
+        let (fast, stats) = compute_all(g);
+        let slow = compute_all_naive(g);
+        assert_eq!(fast.len(), slow.len());
+        for (v, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
+        }
+        assert_eq!(stats.exact_computations, g.n());
+    }
+
+    #[test]
+    fn classics() {
+        check(&classic::complete(8));
+        check(&classic::star(10));
+        check(&classic::path(9));
+        check(&classic::cycle(7));
+        check(&classic::barbell(5));
+        check(&classic::karate_club());
+    }
+
+    #[test]
+    fn paper_graph_golden() {
+        let g = toy::paper_graph();
+        let (cb, _) = compute_all(&g);
+        for (v, expect) in toy::expected_cb() {
+            assert!(
+                (cb[v as usize] - expect).abs() < 1e-9,
+                "CB({}) = {} expected {expect}",
+                toy::label(v),
+                cb[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..4 {
+            check(&gnp(50, 0.12, seed));
+        }
+    }
+
+    #[test]
+    fn community_graph() {
+        let g = planted_partition(
+            egobtw_gen::community::PlantedPartition {
+                communities: 8,
+                community_size: 8,
+                p_in: 0.6,
+                cross_edges_per_vertex: 0.8,
+            },
+            5,
+        );
+        check(&g);
+    }
+
+    #[test]
+    fn triangle_corner_writes_are_3x_triangles() {
+        let g = classic::karate_club();
+        let (_, stats) = compute_all(&g);
+        assert_eq!(
+            stats.triangles_processed,
+            3 * egobtw_graph::triangle::count_triangles(&g)
+        );
+    }
+
+    #[test]
+    fn agrees_with_ordered_engine() {
+        let g = gnp(40, 0.2, 17);
+        let (edge_centric, _) = compute_all(&g);
+        let mut engine = crate::engine::Engine::new(&g);
+        for i in 0..g.n() {
+            let u = engine.order().at(i);
+            engine.process_vertex_in_order(u);
+            let cb = engine.finalize_in_order(u);
+            assert!((cb - edge_centric[u as usize]).abs() < 1e-9, "vertex {u}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Top-k ego-betweenness search — the paper's core contribution.
+//!
+//! For a vertex `p`, the *ego network* `GE(p)` is the subgraph induced by
+//! `N(p) ∪ {p}`, and the *ego-betweenness* `CB(p)` sums, over pairs of
+//! `p`'s neighbors, the fraction of shortest paths between them (inside
+//! `GE(p)`) that pass through `p`. Because every ego network has diameter
+//! ≤ 2 through its center, a non-adjacent pair `(u,v)` with `c` common
+//! connectors (excluding `p`) contributes exactly `1/(c+1)`, and adjacent
+//! pairs contribute 0 (Lemma 2 of the paper).
+//!
+//! This crate implements:
+//!
+//! * [`naive`] — the per-ego "straightforward algorithm" (bitset-based) and
+//!   a simple reference implementation; these are both baselines and test
+//!   oracles;
+//! * [`smap`] — the per-vertex pair-count maps `S_u`, the shared data
+//!   structure behind Algorithms 1–3;
+//! * [`engine`] — the unified triangle-driven engine: ordered processing
+//!   (BaseBSearch), on-demand ego completion (EgoBWCal), and diamond
+//!   bookkeeping that counts each connector exactly once;
+//! * [`bounds`] — the static upper bound `ub` (Lemma 2) and the dynamic,
+//!   monotonically tightening bound `ũb` (Lemma 3);
+//! * [`base_search`] — **BaseBSearch** (Algorithm 1);
+//! * [`opt_search`] — **OptBSearch** (Algorithm 2) with the gradient ratio
+//!   `θ` and EgoBWCal (Algorithm 3);
+//! * [`compute_all`] — exact `CB` for every vertex via a single
+//!   edge-centric pass (the `k = n` baseline, and the kernel that the
+//!   parallel crate distributes);
+//! * [`topk`] — ordered-float utilities and the bounded top-k set;
+//! * [`stats`] — instrumentation counters (exact computations per search —
+//!   Table II of the paper — plus triangle/diamond work).
+//!
+//! # Quick start
+//!
+//! ```
+//! use egobtw_core::opt_search::{opt_bsearch, OptParams};
+//!
+//! // A 5-star: the hub's neighbors are pairwise non-adjacent, so the hub
+//! // scores C(5,2) = 10 and the leaves score 0.
+//! let g = egobtw_graph::CsrGraph::from_edges(
+//!     6, &[(0,1),(0,2),(0,3),(0,4),(0,5)]);
+//! let result = opt_bsearch(&g, 1, OptParams::default());
+//! assert_eq!(result.entries[0], (0, 10.0));
+//! ```
+
+pub mod base_search;
+pub mod bounds;
+pub mod compute_all;
+pub mod engine;
+pub mod naive;
+pub mod opt_search;
+pub mod smap;
+pub mod stats;
+pub mod topk;
+
+pub use base_search::base_bsearch;
+pub use compute_all::compute_all;
+pub use engine::Engine;
+pub use naive::{compute_all_naive, ego_betweenness_of, EgoView};
+pub use opt_search::{opt_bsearch, OptParams};
+pub use stats::SearchStats;
+pub use topk::{TopKSet, TopkResult};

@@ -1,0 +1,271 @@
+//! Per-ego ego-betweenness: the "straightforward algorithm".
+//!
+//! [`ego_betweenness_of`] materializes one vertex's ego network as a local
+//! bitset adjacency matrix and evaluates Lemma 2 directly:
+//!
+//! ```text
+//! CB(p) = Σ over non-adjacent neighbor pairs (u,v) of 1 / (1 + |N(u) ∩ N(v) ∩ N(p)|)
+//! ```
+//!
+//! This serves three roles: the paper's Section-I straw-man baseline
+//! ("compute every ego network"), the recompute-on-demand kernel of the
+//! lazy top-k maintainer, and — together with the even simpler
+//! [`ego_betweenness_reference`] — an independent oracle for testing the
+//! shared-work engine.
+//!
+//! Both functions are generic over [`EgoView`] so they run on the static
+//! [`CsrGraph`] and the mutable [`DynGraph`] alike.
+
+use egobtw_graph::{CsrGraph, DynGraph, FxHashMap, VertexId};
+
+/// Minimal adjacency interface needed to evaluate one ego network.
+pub trait EgoView {
+    /// Number of vertices.
+    fn n_vertices(&self) -> usize;
+    /// Degree of `u`.
+    fn degree_of(&self, u: VertexId) -> usize;
+    /// Calls `f` for every neighbor of `u` (any order).
+    fn for_each_neighbor(&self, u: VertexId, f: &mut dyn FnMut(VertexId));
+    /// Edge membership.
+    fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool;
+}
+
+impl EgoView for CsrGraph {
+    fn n_vertices(&self) -> usize {
+        self.n()
+    }
+    fn degree_of(&self, u: VertexId) -> usize {
+        self.degree(u)
+    }
+    fn for_each_neighbor(&self, u: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+    fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+impl EgoView for DynGraph {
+    fn n_vertices(&self) -> usize {
+        self.n()
+    }
+    fn degree_of(&self, u: VertexId) -> usize {
+        self.degree(u)
+    }
+    fn for_each_neighbor(&self, u: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+    fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+/// Exact `CB(p)` via a local bitset ego-adjacency matrix.
+///
+/// Cost: `O(Σ_{w∈N(p)} d(w))` to build the local matrix plus
+/// `O(d(p)² · d(p)/64)` for the pairwise popcount sweep — the per-ego cost
+/// the paper's shared-work engine amortizes away.
+pub fn ego_betweenness_of<V: EgoView + ?Sized>(g: &V, p: VertexId) -> f64 {
+    let d = g.degree_of(p);
+    if d < 2 {
+        return 0.0;
+    }
+    // Sorted neighbor list → deterministic float summation order.
+    let mut nbrs: Vec<VertexId> = Vec::with_capacity(d);
+    g.for_each_neighbor(p, &mut |v| nbrs.push(v));
+    nbrs.sort_unstable();
+
+    let mut index: FxHashMap<VertexId, u32> = FxHashMap::default();
+    index.reserve(d);
+    for (i, &v) in nbrs.iter().enumerate() {
+        index.insert(v, i as u32);
+    }
+
+    // rows[i] = bitset over neighbor indices adjacent to nbrs[i].
+    let words = d.div_ceil(64);
+    let mut rows = vec![0u64; d * words];
+    for (i, &v) in nbrs.iter().enumerate() {
+        g.for_each_neighbor(v, &mut |w| {
+            if let Some(&j) = index.get(&w) {
+                rows[i * words + (j as usize >> 6)] |= 1u64 << (j & 63);
+            }
+        });
+    }
+
+    let mut cb = 0.0;
+    for i in 0..d {
+        let row_i = &rows[i * words..(i + 1) * words];
+        for j in i + 1..d {
+            if row_i[j >> 6] & (1u64 << (j & 63)) != 0 {
+                continue; // adjacent pair contributes 0
+            }
+            let row_j = &rows[j * words..(j + 1) * words];
+            let connectors: u32 = row_i
+                .iter()
+                .zip(row_j)
+                .map(|(a, b)| (a & b).count_ones())
+                .sum();
+            cb += 1.0 / (f64::from(connectors) + 1.0);
+        }
+    }
+    cb
+}
+
+/// Dead-simple reference implementation (hash membership, no bitsets).
+/// Quadratic-times-degree; used only to cross-check
+/// [`ego_betweenness_of`] in tests.
+pub fn ego_betweenness_reference<V: EgoView + ?Sized>(g: &V, p: VertexId) -> f64 {
+    let mut nbrs: Vec<VertexId> = Vec::new();
+    g.for_each_neighbor(p, &mut |v| nbrs.push(v));
+    nbrs.sort_unstable();
+    let in_ego: egobtw_graph::FxHashSet<VertexId> = nbrs.iter().copied().collect();
+    let mut cb = 0.0;
+    for (a, &u) in nbrs.iter().enumerate() {
+        for &v in nbrs.iter().skip(a + 1) {
+            if g.has_edge_between(u, v) {
+                continue;
+            }
+            let mut connectors = 0u32;
+            for &w in &nbrs {
+                if w != u && w != v && g.has_edge_between(w, u) && g.has_edge_between(w, v) {
+                    connectors += 1;
+                }
+            }
+            debug_assert!(in_ego.contains(&u));
+            cb += 1.0 / (f64::from(connectors) + 1.0);
+        }
+    }
+    cb
+}
+
+/// The straightforward all-vertices baseline: one independent ego
+/// computation per vertex. This is the algorithm the paper's introduction
+/// dismisses as too costly — kept as a measured baseline and oracle.
+pub fn compute_all_naive(g: &CsrGraph) -> Vec<f64> {
+    (0..g.n() as VertexId)
+        .map(|p| ego_betweenness_of(g, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_gen::classic;
+
+    const EPS: f64 = 1e-9;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= EPS * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn star_hub_is_maximal() {
+        let g = classic::star(7);
+        assert_close(ego_betweenness_of(&g, 0), 15.0); // C(6,2)
+        for leaf in 1..7 {
+            assert_close(ego_betweenness_of(&g, leaf), 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_all_zero() {
+        let g = classic::complete(8);
+        for v in g.vertices() {
+            assert_close(ego_betweenness_of(&g, v), 0.0);
+        }
+    }
+
+    #[test]
+    fn path_interior_is_one() {
+        let g = classic::path(5);
+        assert_close(ego_betweenness_of(&g, 0), 0.0);
+        for v in 1..4 {
+            assert_close(ego_betweenness_of(&g, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn cycle_values() {
+        for n in [4usize, 5, 8] {
+            let g = classic::cycle(n);
+            for v in g.vertices() {
+                assert_close(ego_betweenness_of(&g, v), 1.0);
+            }
+        }
+        let g3 = classic::cycle(3);
+        for v in g3.vertices() {
+            assert_close(ego_betweenness_of(&g3, v), 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_example1_cb_of_d() {
+        let g = egobtw_gen::toy::paper_graph();
+        assert_close(
+            ego_betweenness_of(&g, egobtw_gen::toy::ids::D),
+            14.0 / 3.0,
+        );
+    }
+
+    #[test]
+    fn golden_values_on_paper_graph() {
+        let g = egobtw_gen::toy::paper_graph();
+        for (v, expect) in egobtw_gen::toy::expected_cb() {
+            let got = ego_betweenness_of(&g, v);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "CB({}) = {got}, paper says {expect}",
+                egobtw_gen::toy::label(v)
+            );
+        }
+    }
+
+    #[test]
+    fn bitset_matches_reference_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = rng.random_range(5..40);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng.random_bool(0.25) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges);
+            for v in g.vertices() {
+                let fast = ego_betweenness_of(&g, v);
+                let slow = ego_betweenness_reference(&g, v);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "trial {trial}, vertex {v}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_dyn_graph() {
+        let g = classic::star(6);
+        let dg = DynGraph::from_csr(&g);
+        assert_close(ego_betweenness_of(&dg, 0), 10.0);
+        assert_close(
+            ego_betweenness_of(&dg, 0),
+            ego_betweenness_reference(&dg, 0),
+        );
+    }
+
+    #[test]
+    fn wide_ego_crosses_word_boundary() {
+        // Hub with 130 leaves exercises multi-word bitset rows.
+        let g = classic::star(131);
+        assert_close(ego_betweenness_of(&g, 0), 130.0 * 129.0 / 2.0);
+    }
+}

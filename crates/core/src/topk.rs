@@ -1,0 +1,172 @@
+//! Ordered-float utilities and the bounded top-k accumulator.
+
+use egobtw_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// `f64` wrapper with a total order (`f64::total_cmp`), so scores can live
+/// in heaps. Ego-betweenness values are finite and non-negative.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Keeps the `k` best `(vertex, score)` pairs seen so far, exposing the
+/// current k-th score as the pruning threshold (`min CB(R)` in the paper).
+///
+/// Ties on score are broken toward the smaller vertex id staying, purely
+/// for determinism; any tie-broken answer is a valid top-k set.
+#[derive(Clone, Debug)]
+pub struct TopKSet {
+    k: usize,
+    // Min-heap of (score, vertex): the root is the eviction candidate.
+    heap: BinaryHeap<Reverse<(OrdF64, Reverse<VertexId>)>>,
+}
+
+impl TopKSet {
+    /// Accumulator for the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopKSet {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of held entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` once `k` entries are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current minimum score in the set (`min_{v∈R} CB(v)`), if non-empty.
+    pub fn min_score(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((OrdF64(s), _))| *s)
+    }
+
+    /// Offers an entry; returns `true` if it was admitted (possibly
+    /// evicting the current minimum).
+    pub fn offer(&mut self, v: VertexId, score: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let item = Reverse((OrdF64(score), Reverse(v)));
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+            return true;
+        }
+        if item < *self.heap.peek().unwrap() {
+            // `Reverse` flips: smaller item == larger (score, id).
+            self.heap.pop();
+            self.heap.push(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the set, returning entries sorted by descending score
+    /// (ascending vertex id among exact ties).
+    pub fn into_sorted_vec(self) -> Vec<(VertexId, f64)> {
+        let mut v: Vec<(VertexId, f64)> = self
+            .heap
+            .into_iter()
+            .map(|Reverse((OrdF64(s), Reverse(id)))| (id, s))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Outcome of a top-k search: the ranked answers plus instrumentation.
+#[derive(Clone, Debug)]
+pub struct TopkResult {
+    /// `(vertex, CB)` sorted by descending `CB`.
+    pub entries: Vec<(VertexId, f64)>,
+    /// Work counters (see [`crate::stats::SearchStats`]).
+    pub stats: crate::stats::SearchStats,
+}
+
+impl TopkResult {
+    /// Just the vertex ids, in rank order.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        self.entries.iter().map(|&(v, _)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_best_k() {
+        let mut t = TopKSet::new(3);
+        for (v, s) in [(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0), (4, 0.5)] {
+            t.offer(v, s);
+        }
+        let out = t.into_sorted_vec();
+        assert_eq!(out, vec![(1, 5.0), (3, 4.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn min_score_tracks_kth() {
+        let mut t = TopKSet::new(2);
+        assert_eq!(t.min_score(), None);
+        t.offer(0, 2.0);
+        t.offer(1, 7.0);
+        assert_eq!(t.min_score(), Some(2.0));
+        assert!(t.offer(2, 3.0));
+        assert_eq!(t.min_score(), Some(3.0));
+        assert!(!t.offer(3, 1.0), "worse than the k-th is rejected");
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut t = TopKSet::new(1);
+        t.offer(5, 1.0);
+        // Equal score, smaller id: admitted (smaller id preferred).
+        assert!(t.offer(2, 1.0));
+        assert_eq!(t.into_sorted_vec(), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let mut t = TopKSet::new(0);
+        assert!(!t.offer(0, 9.0));
+        assert!(t.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-0.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5).cmp(&OrdF64(3.5)), std::cmp::Ordering::Equal);
+    }
+}

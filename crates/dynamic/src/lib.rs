@@ -1,0 +1,25 @@
+//! Ego-betweenness maintenance under edge updates (Section IV).
+//!
+//! Two maintainers, trading memory for work:
+//!
+//! * [`local::LocalIndex`] — **LocalInsert / LocalDelete** (Algorithms
+//!   4–5): keeps the complete per-vertex maps `S_u` plus every `CB`, and
+//!   applies exact delta updates. Observation 1 bounds the blast radius of
+//!   an edge flip `(u,v)` to `{u, v} ∪ (N(u) ∩ N(v))`; Lemmas 4–7 give the
+//!   per-pair deltas. Memory `O(Σ d(u)²)`, update cost local.
+//! * [`lazy::LazyTopK`] — **LazyInsert / LazyDelete** (Algorithm 6): keeps
+//!   only `O(n)` state (one value + staleness flag per vertex) and the
+//!   current top-k. Monotonicity facts (insertion can only *decrease* a
+//!   common neighbor's `CB`; deletion can only *increase* it; endpoint
+//!   bounds move with the degree) let most affected vertices be marked
+//!   stale instead of recomputed; exact recomputation happens on demand via
+//!   the per-ego kernel.
+//!
+//! Both are verified against from-scratch recomputation after every
+//! update in the property-test suites.
+
+pub mod lazy;
+pub mod local;
+
+pub use lazy::LazyTopK;
+pub use local::LocalIndex;

@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces the heavy-tailed degree distributions characteristic of the
+//! paper's social-network datasets (Youtube, Pokec, LiveJournal). Degree
+//! skew is what drives the upper-bound ordering, the pruning power of the
+//! searches, and the load imbalance of `VertexPEBW`, so this is the key
+//! structural property the stand-ins must reproduce.
+
+use egobtw_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// BA graph: starts from a clique on `m_attach + 1` seed vertices, then each
+/// new vertex attaches to `m_attach` distinct existing vertices chosen
+/// preferentially by degree (implemented with the classic repeated-endpoint
+/// list, so sampling is O(1) per draw).
+///
+/// Panics if `n <= m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "each vertex must attach at least once");
+    assert!(n > m_attach, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m0 = m_attach + 1;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m_attach);
+    // Every edge endpoint is pushed here; uniform draws from it are
+    // degree-proportional draws over vertices.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+
+    for u in 0..m0 as VertexId {
+        for v in u + 1..m0 as VertexId {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach);
+    for u in m0 as VertexId..n as VertexId {
+        targets.clear();
+        // Rejection-sample m distinct targets; the endpoint list is large
+        // relative to m so collisions are rare.
+        while targets.len() < m_attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        // m0 clique edges + m per subsequent vertex.
+        let (n, m) = (500, 4);
+        let g = barabasi_albert(n, m, 11);
+        let m0 = m + 1;
+        assert_eq!(g.n(), n);
+        assert_eq!(g.m(), m0 * (m0 - 1) / 2 + (n - m0) * m);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 3, 5);
+        for u in g.vertices() {
+            assert!(g.degree(u) >= 3, "vertex {u} has degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let g = barabasi_albert(2000, 3, 1);
+        // A hub should greatly exceed the mean degree (≈6).
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(200, 2, 7);
+        let b = barabasi_albert(200, 2, 7);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

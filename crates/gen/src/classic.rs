@@ -1,0 +1,132 @@
+//! Deterministic graph families and small named graphs.
+//!
+//! These have hand-checkable ego-betweenness values, which makes them the
+//! backbone of the unit-test suites: stars (the hub gets the maximal
+//! `d(d-1)/2`), complete graphs (everything is 0), paths, cycles, and
+//! Zachary's karate club for realistic-but-tiny demos.
+
+use egobtw_graph::{CsrGraph, VertexId};
+
+/// Complete graph `K_n`. Every ego network is a clique, so every
+/// ego-betweenness is exactly 0.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Star `S_n`: vertex 0 is the hub joined to `n-1` leaves. The hub's
+/// ego-betweenness is `(n-1)(n-2)/2` (every leaf pair routes through it);
+/// leaves score 0.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Path `P_n` (vertices 0–1–2–⋯). Interior vertices have ego-betweenness 1
+/// (their two neighbors are non-adjacent with no common connector).
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Cycle `C_n`. For `n ≥ 4` every vertex has ego-betweenness 1: its two
+/// neighbors are non-adjacent and their only other common neighbor (in
+/// `C_4`, the antipode) lies outside the ego network. `C_3` gives 0.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Two cliques of size `s` joined by a single bridge edge between vertex
+/// `s-1` and vertex `s`. The bridge endpoints are the classic
+/// high-betweenness "broker" vertices.
+pub fn barbell(s: usize) -> CsrGraph {
+    assert!(s >= 2);
+    let mut edges = Vec::new();
+    for u in 0..s as VertexId {
+        for v in u + 1..s as VertexId {
+            edges.push((u, v));
+        }
+    }
+    for u in 0..s as VertexId {
+        for v in u + 1..s as VertexId {
+            edges.push((s as VertexId + u, s as VertexId + v));
+        }
+    }
+    edges.push((s as VertexId - 1, s as VertexId));
+    CsrGraph::from_edges(2 * s, &edges)
+}
+
+/// Zachary's karate club (34 vertices, 78 edges) — the standard
+/// social-network toy dataset, hardcoded.
+pub fn karate_club() -> CsrGraph {
+    const EDGES: [(VertexId, VertexId); 78] = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+        (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+        (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+        (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+        (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+        (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+        (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+        (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+        (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+        (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+        (31, 33), (32, 33),
+    ];
+    CsrGraph::from_edges(34, &EDGES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_sizes() {
+        let g = complete(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 15);
+        assert!(g.vertices().all(|u| g.degree(u) == 5));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v as u32) == 1));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert!(cycle(5).vertices().all(|u| cycle(5).degree(u) == 2));
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        let g = barbell(4);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 6 + 6 + 1);
+        assert!(g.has_edge(3, 4));
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn karate_canonical_stats() {
+        let g = karate_club();
+        assert_eq!(g.n(), 34);
+        assert_eq!(g.m(), 78);
+        assert_eq!(g.degree(33), 17, "instructor");
+        assert_eq!(g.degree(0), 16, "president");
+        assert_eq!(egobtw_graph::triangle::count_triangles(&g), 45);
+    }
+}

@@ -1,0 +1,137 @@
+//! Planted-partition (stochastic block) graphs.
+//!
+//! Collaboration networks such as DBLP consist of dense co-author groups
+//! bridged by a few prolific authors. The planted-partition model
+//! reproduces exactly that: dense intra-community blocks (high triangle
+//! count — expensive egos) and sparse inter-community edges (the bridges
+//! that earn high ego-betweenness). Used for the DBLP stand-in and the
+//! DB/IR case-study graphs of Exp-7.
+
+use egobtw_graph::{pack_pair, CsrGraph, FxHashSet, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`planted_partition`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedPartition {
+    /// Number of communities.
+    pub communities: usize,
+    /// Vertices per community (n = communities × community_size).
+    pub community_size: usize,
+    /// Intra-community edge probability.
+    pub p_in: f64,
+    /// Expected number of inter-community edges **per vertex** (sampled as
+    /// uniformly random cross pairs; a rate rather than a per-pair
+    /// probability so the parameter stays meaningful as n grows).
+    pub cross_edges_per_vertex: f64,
+}
+
+/// Generates a planted-partition graph. Community `c` owns the contiguous
+/// id range `[c * community_size, (c+1) * community_size)`.
+pub fn planted_partition(p: PlantedPartition, seed: u64) -> CsrGraph {
+    assert!(p.communities >= 1 && p.community_size >= 1);
+    assert!((0.0..=1.0).contains(&p.p_in));
+    assert!(p.cross_edges_per_vertex >= 0.0);
+    let n = p.communities * p.community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+
+    // Dense intra-community blocks: communities are small, so the O(size²)
+    // pair loop per community is the fast path.
+    for c in 0..p.communities {
+        let base = (c * p.community_size) as VertexId;
+        for i in 0..p.community_size as VertexId {
+            for j in i + 1..p.community_size as VertexId {
+                if rng.random_bool(p.p_in) {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+
+    // Sparse cross edges: sample the target count directly instead of
+    // flipping a coin for every one of the O(n²) cross pairs.
+    if p.communities > 1 {
+        let target = (p.cross_edges_per_vertex * n as f64).round() as usize;
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        seen.reserve(target);
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(20).max(64);
+        while placed < target && attempts < max_attempts {
+            attempts += 1;
+            let u = rng.random_range(0..n as VertexId);
+            let v = rng.random_range(0..n as VertexId);
+            let same_comm =
+                (u as usize) / p.community_size == (v as usize) / p.community_size;
+            if u != v && !same_comm && seen.insert(pack_pair(u, v)) {
+                edges.push((u, v));
+                placed += 1;
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PlantedPartition {
+        PlantedPartition {
+            communities: 20,
+            community_size: 10,
+            p_in: 0.5,
+            cross_edges_per_vertex: 0.5,
+        }
+    }
+
+    #[test]
+    fn vertex_count_and_density() {
+        let g = planted_partition(small(), 1);
+        assert_eq!(g.n(), 200);
+        // Expected intra edges: 20 * C(10,2) * 0.5 = 450; cross: 100.
+        let m = g.m() as f64;
+        assert!((400.0..650.0).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn communities_are_denser_than_cross() {
+        let g = planted_partition(small(), 2);
+        let mut intra = 0usize;
+        let mut cross = 0usize;
+        for (u, v) in g.edges() {
+            if u / 10 == v / 10 {
+                intra += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        assert!(intra > 3 * cross, "intra={intra} cross={cross}");
+    }
+
+    #[test]
+    fn single_community_has_no_cross() {
+        let p = PlantedPartition {
+            communities: 1,
+            community_size: 30,
+            p_in: 0.3,
+            cross_edges_per_vertex: 5.0,
+        };
+        let g = planted_partition(p, 3);
+        assert_eq!(g.n(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(small(), 7);
+        let b = planted_partition(small(), 7);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn triangle_rich() {
+        let g = planted_partition(small(), 4);
+        assert!(egobtw_graph::triangle::count_triangles(&g) > 100);
+    }
+}

@@ -1,0 +1,95 @@
+//! Erdős–Rényi random graphs.
+
+use egobtw_graph::{pack_pair, CsrGraph, FxHashSet, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): exactly `m` distinct edges sampled uniformly among all pairs.
+///
+/// Panics if `m` exceeds the number of available pairs.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= pairs, "requested {m} edges but only {pairs} pairs exist");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n as VertexId);
+        let v = rng.random_range(0..n as VertexId);
+        if u != v && seen.insert(pack_pair(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// G(n, p): each pair independently an edge with probability `p`.
+///
+/// O(n²) sampling — intended for small test graphs; use [`gnm`] at scale.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if rng.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 250, 1);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 250);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = gnm(50, 100, 9);
+        let b = gnm(50, 100, 9);
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+        let c = gnm(50, 100, 10);
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gnm_saturated() {
+        let g = gnm(5, 10, 3);
+        assert_eq!(g.m(), 10, "complete graph on 5 vertices");
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn gnm_too_many_edges() {
+        gnm(3, 4, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 0).m(), 0);
+        assert_eq!(gnp(10, 1.0, 0).m(), 45);
+    }
+
+    #[test]
+    fn gnp_density_plausible() {
+        let g = gnp(200, 0.1, 4);
+        let expect = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.m() as f64;
+        assert!((m - expect).abs() < expect * 0.25, "m={m} expect≈{expect}");
+    }
+}

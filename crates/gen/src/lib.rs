@@ -1,0 +1,41 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on five SNAP datasets that are unavailable offline;
+//! these generators produce deterministic stand-ins that preserve the three
+//! structural axes the algorithms are sensitive to (degree skew, triangle
+//! density, community structure) — see DESIGN.md §5 for the mapping.
+//!
+//! All generators take an explicit `seed` and are fully deterministic: the
+//! same `(parameters, seed)` always yields the same graph, so experiment
+//! tables are reproducible run to run.
+//!
+//! * [`ba::barabasi_albert`] — preferential attachment (heavy-tailed social
+//!   networks: Youtube / Pokec / LiveJournal stand-ins);
+//! * [`rmat::rmat`] — recursive-matrix sampling (extreme hub skew:
+//!   WikiTalk stand-in);
+//! * [`community::planted_partition`] — dense intra-community cliques
+//!   (collaboration networks: DBLP / case-study stand-ins);
+//! * [`er`] — Erdős–Rényi G(n,m) and G(n,p) reference models;
+//! * [`ws::watts_strogatz`] — small-world ring rewiring;
+//! * [`classic`] — deterministic families (complete, star, path, …) plus
+//!   Zachary's karate club for human-scale examples;
+//! * [`toy::paper_graph`] — the exact 16-vertex running example of the
+//!   paper's Fig. 1, reconstructed from the worked examples, with golden
+//!   ego-betweenness values for testing;
+//! * [`sample`] — uniform edge / vertex subsampling (scalability
+//!   experiment, Fig. 9).
+
+pub mod ba;
+pub mod classic;
+pub mod community;
+pub mod er;
+pub mod rmat;
+pub mod sample;
+pub mod toy;
+pub mod ws;
+
+pub use ba::barabasi_albert;
+pub use community::planted_partition;
+pub use er::{gnm, gnp};
+pub use rmat::rmat;
+pub use ws::watts_strogatz;

@@ -1,0 +1,120 @@
+//! R-MAT recursive-matrix graphs.
+//!
+//! R-MAT with skewed quadrant probabilities produces a few enormous hubs
+//! and a long thin tail — the WikiTalk communication-network profile
+//! (d_max ≈ 100k on 2.4M vertices in the paper's Table I). That extreme
+//! skew is what stresses the upper-bound pruning (few vertices dominate)
+//! and the vertex-parallel load balance.
+
+use egobtw_graph::{pack_pair, CsrGraph, FxHashSet, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT parameters: quadrant probabilities, summing to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "hub" mass).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The classic skewed parameterization (a=0.57, b=c=0.19, d=0.05).
+    pub fn skewed() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` *distinct* edges (self-loops and duplicates are
+/// re-sampled, so the edge count is met exactly unless the space is too
+/// small, in which case generation stops after a bounded number of
+/// attempts and the graph may have fewer edges).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale >= 1 && scale < 31, "scale out of range");
+    let n = 1usize << scale;
+    let target = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(target);
+    let mut edges = Vec::with_capacity(target);
+    let max_attempts = target.saturating_mul(20);
+    let mut attempts = 0usize;
+    while edges.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        let (u, v) = (u as VertexId, v as VertexId);
+        if u != v && seen.insert(pack_pair(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_edge_target() {
+        let g = rmat(10, 4, RmatParams::skewed(), 3);
+        assert_eq!(g.n(), 1024);
+        assert_eq!(g.m(), 4096);
+    }
+
+    #[test]
+    fn skew_exceeds_uniform() {
+        let skew = rmat(12, 4, RmatParams::skewed(), 3);
+        let unif = rmat(
+            12,
+            4,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+            },
+            3,
+        );
+        assert!(
+            skew.max_degree() > 2 * unif.max_degree(),
+            "skewed dmax {} vs uniform dmax {}",
+            skew.max_degree(),
+            unif.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 2, RmatParams::skewed(), 42);
+        let b = rmat(8, 2, RmatParams::skewed(), 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_attempts_on_dense_request() {
+        // Tiny space, huge request: generation must terminate.
+        let g = rmat(2, 10, RmatParams::skewed(), 0);
+        assert!(g.m() <= 6, "at most C(4,2) edges");
+    }
+}

@@ -1,0 +1,105 @@
+//! Uniform subsampling for the scalability experiment (Fig. 9).
+//!
+//! The paper generates four subgraphs per dataset "by randomly picking
+//! 20%–80% of the edges (vertices)". Edge sampling keeps all vertices and a
+//! uniform fraction of edges; vertex sampling keeps an induced subgraph on
+//! a uniform vertex subset, relabeled densely.
+
+use egobtw_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Keeps `round(frac · m)` uniformly random edges on the same vertex set.
+pub fn edge_sample(g: &CsrGraph, frac: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let keep = ((g.m() as f64) * frac).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    edges.truncate(keep);
+    CsrGraph::from_edges(g.n(), &edges)
+}
+
+/// Induced subgraph on `round(frac · n)` uniformly random vertices,
+/// relabeled to a dense `0..n'` range. Returns the subgraph and the map
+/// `kept[new_id] = old_id`.
+pub fn vertex_sample(g: &CsrGraph, frac: f64, seed: u64) -> (CsrGraph, Vec<VertexId>) {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut verts: Vec<VertexId> = (0..g.n() as VertexId).collect();
+    let keep = ((g.n() as f64) * frac).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    verts.shuffle(&mut rng);
+    verts.truncate(keep);
+    verts.sort_unstable();
+    let mut new_id = vec![VertexId::MAX; g.n()];
+    for (i, &v) in verts.iter().enumerate() {
+        new_id[v as usize] = i as VertexId;
+    }
+    let mut edges = Vec::new();
+    for &v in &verts {
+        for &w in g.neighbors(v) {
+            if v < w && new_id[w as usize] != VertexId::MAX {
+                edges.push((new_id[v as usize], new_id[w as usize]));
+            }
+        }
+    }
+    (CsrGraph::from_edges(verts.len(), &edges), verts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::gnm;
+
+    #[test]
+    fn edge_sample_counts() {
+        let g = gnm(100, 400, 0);
+        let s = edge_sample(&g, 0.25, 1);
+        assert_eq!(s.n(), 100);
+        assert_eq!(s.m(), 100);
+        let full = edge_sample(&g, 1.0, 1);
+        assert_eq!(full.m(), 400);
+        let empty = edge_sample(&g, 0.0, 1);
+        assert_eq!(empty.m(), 0);
+    }
+
+    #[test]
+    fn edge_sample_is_subset() {
+        let g = gnm(50, 200, 2);
+        let s = edge_sample(&g, 0.5, 3);
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn vertex_sample_induces() {
+        let g = gnm(60, 300, 4);
+        let (s, kept) = vertex_sample(&g, 0.5, 5);
+        assert_eq!(s.n(), 30);
+        assert_eq!(kept.len(), 30);
+        // Every sampled edge must exist between the original endpoints,
+        // and every original edge between kept vertices must survive.
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(kept[u as usize], kept[v as usize]));
+        }
+        let mut expected = 0;
+        for (i, &a) in kept.iter().enumerate() {
+            for &b in kept.iter().skip(i + 1) {
+                if g.has_edge(a, b) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(s.m(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(80, 300, 6);
+        let a = edge_sample(&g, 0.4, 9);
+        let b = edge_sample(&g, 0.4, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

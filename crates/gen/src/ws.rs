@@ -1,0 +1,94 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! High clustering with short paths; included as a high-triangle-density
+//! regime for stress-testing the S-map engine (every triangle costs map
+//! updates) and for the ablation suite.
+
+use egobtw_graph::{CsrGraph, FxHashSet, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ring lattice on `n` vertices where each vertex connects to its `k/2`
+/// nearest neighbors on each side, then each edge's far endpoint is
+/// rewired with probability `p` (rewirings that would create self-loops or
+/// duplicates are skipped, keeping the original edge).
+///
+/// `k` must be even and `< n`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(k % 2 == 0, "k must be even");
+    assert!(k < n, "lattice degree must be below n");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: FxHashSet<u64> = FxHashSet::default();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            let v = (u + d) % n;
+            let (a, b) = (u as VertexId, v as VertexId);
+            present.insert(egobtw_graph::pack_pair(a, b));
+            edges.push((a, b));
+        }
+    }
+    for i in 0..edges.len() {
+        if !rng.random_bool(p) {
+            continue;
+        }
+        let (u, _old) = edges[i];
+        let w = rng.random_range(0..n as VertexId);
+        if w == u {
+            continue;
+        }
+        let new_key = egobtw_graph::pack_pair(u, w);
+        if present.contains(&new_key) {
+            continue;
+        }
+        let old_key = egobtw_graph::pack_pair(edges[i].0, edges[i].1);
+        present.remove(&old_key);
+        present.insert(new_key);
+        edges[i] = (u, w);
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_when_p_zero() {
+        let g = watts_strogatz(10, 4, 0.0, 0);
+        assert_eq!(g.m(), 20);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 9));
+        assert!(g.has_edge(0, 8));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let g = watts_strogatz(200, 6, 0.3, 5);
+        assert_eq!(g.m(), 600, "rewiring never changes the edge count");
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let lattice = watts_strogatz(100, 4, 0.0, 1);
+        let rewired = watts_strogatz(100, 4, 0.5, 1);
+        let le: Vec<_> = lattice.edges().collect();
+        let re: Vec<_> = rewired.edges().collect();
+        assert_ne!(le, re);
+    }
+
+    #[test]
+    fn high_clustering_at_low_p() {
+        let g = watts_strogatz(300, 8, 0.05, 2);
+        let triangles = egobtw_graph::triangle::count_triangles(&g);
+        // A k=8 ring lattice has 3 triangles per vertex per ... many;
+        // just assert the small-world regime keeps plenty of them.
+        assert!(triangles > 500, "triangles = {triangles}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Incremental edge-list builder for [`CsrGraph`].
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Collects edges (growing the vertex count as needed) and finalizes into
+/// a [`CsrGraph`]. Duplicates and self-loops are tolerated and cleaned up
+/// at build time.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized for `n` vertices and `m` expected edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Ensures the graph has at least `n` vertices.
+    pub fn reserve_vertices(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Records an undirected edge, growing the vertex range to cover it.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (raw, possibly duplicated) edges recorded so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a CSR graph.
+    pub fn build(self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_vertex_range() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 7);
+        b.add_edge(2, 3);
+        assert_eq!(b.vertex_count(), 8);
+        let g = b.build();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn reserve_creates_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(5);
+        let g = b.build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn cleans_duplicates_at_build() {
+        let mut b = GraphBuilder::with_capacity(3, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 1);
+        assert_eq!(b.raw_edge_count(), 3);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Immutable compressed-sparse-row graph.
+//!
+//! [`CsrGraph`] is the workhorse static representation: two flat arrays
+//! (offsets + concatenated sorted adjacency lists). Every algorithm crate
+//! reads neighborhoods as `&[u32]` slices, which keeps hot loops free of
+//! pointer chasing and lets intersections run on sorted slices.
+
+use crate::pair::pack_pair;
+use crate::VertexId;
+
+/// An undirected, unweighted simple graph in compressed-sparse-row form.
+///
+/// Invariants (established by all constructors, relied upon everywhere):
+/// * vertices are `0..n`;
+/// * adjacency slices are strictly increasing (sorted, no duplicates);
+/// * no self-loops;
+/// * symmetry: `v ∈ N(u) ⟺ u ∈ N(v)`.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Box<[usize]>,
+    adj: Box<[VertexId]>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Self-loops are dropped; duplicate edges (in either orientation) are
+    /// collapsed. Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut keys: Vec<u64> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for n={n}"
+            );
+            if u != v {
+                keys.push(pack_pair(u, v));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+
+        let mut degrees = vec![0usize; n];
+        for &k in &keys {
+            let (u, v) = crate::pair::unpack_pair(k);
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut adj = vec![0 as VertexId; acc];
+        for &k in &keys {
+            let (u, v) = crate::pair::unpack_pair(k);
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Keys were sorted by (min, max); per-vertex lists need their own
+        // sort because a vertex appears as both min and max endpoint.
+        for u in 0..n {
+            adj[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            adj: adj.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Edge membership by binary search: `O(log d(u))` on the smaller
+    /// endpoint. For O(1) membership in hot loops build an [`crate::EdgeSet`].
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n() as VertexId).into_iter()
+    }
+
+    /// Iterator over undirected edges as `(min, max)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree (`d_max` in the paper's tables). Zero for empty graphs.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as VertexId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over vertices of `d(u)²`; the worst-case size of the S-map store
+    /// (Theorem 2's space term) — useful for sizing estimates in harnesses.
+    pub fn degree_square_sum(&self) -> u64 {
+        (0..self.n() as VertexId)
+            .map(|u| (self.degree(u) as u64).pow(2))
+            .sum()
+    }
+
+    /// The static upper bound `ub(u) = d(u)(d(u)-1)/2` of Lemma 2.
+    #[inline]
+    pub fn degree_bound(&self, u: VertexId) -> f64 {
+        let d = self.degree(u) as f64;
+        d * (d - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = CsrGraph::from_edges(4, &[(2, 1), (3, 0), (1, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_symmetric() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(5, 0), (4, 0), (3, 0), (0, 1), (2, 0), (1, 2), (3, 4)],
+        );
+        for u in g.vertices() {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for &v in ns {
+                assert!(g.neighbors(v).contains(&u), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_square_sum_and_bound() {
+        let g = path4();
+        assert_eq!(g.degree_square_sum(), 1 + 4 + 4 + 1);
+        assert_eq!(g.degree_bound(1), 1.0);
+        assert_eq!(g.degree_bound(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! A fast, deterministic Fx-style hasher.
+//!
+//! The per-vertex pair-count maps are the hottest data structure in the
+//! whole system and their keys are packed integers, for which the standard
+//! library's SipHash is needlessly slow (see the Rust Performance Book's
+//! "Hashing" chapter). The offline dependency allow-list does not include
+//! `rustc-hash`, so we implement the same multiply-rotate scheme here: it
+//! is a handful of lines, deterministic (no per-process random state, which
+//! also makes experiment runs reproducible), and has been battle-tested in
+//! rustc itself.
+//!
+//! Not DoS-resistant — do not expose these maps to untrusted keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Streaming hasher state. One `u64` word; each input word is folded in
+/// with a rotate-xor-multiply step.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold 8 bytes at a time, then the tail. Called rarely in this
+        // workspace (keys are integers), but kept correct for generality.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            self.add_word(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and `Default`, so hash maps
+/// built with it have no per-instance state and deterministic iteration
+/// for a fixed insertion sequence.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` alias using the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` alias using the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(0xdead_beefu64), hash_of(0xdead_beefu64));
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test, just a sanity check that low bits move.
+        let a = hash_of(1u64);
+        let b = hash_of(2u64);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn byte_stream_matches_tail_handling() {
+        // 9 bytes exercises both the 8-byte chunk and the remainder path.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        assert_eq!(m.get(&7), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+}

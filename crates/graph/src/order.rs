@@ -1,0 +1,197 @@
+//! The paper's total order `≺` and the edge orientation it induces.
+//!
+//! Definition (Section II): `u ≺ v` iff `d(u) > d(v)`, or `d(u) = d(v)`
+//! and `u` has a **larger id** than `v`. Orienting every undirected edge
+//! from its `≺`-smaller endpoint to its `≺`-larger endpoint yields an
+//! acyclic graph `G⁺` whose out-degrees are bounded by `O(α)`-ish terms on
+//! real graphs; enumerating triangles on `G⁺` visits each triangle exactly
+//! once, at its `≺`-minimal (highest-degree) corner. BaseBSearch leans on
+//! exactly this property: once vertex `u`'s turn in the order arrives, all
+//! triangles containing `u` have been seen.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Precomputed total order `≺` over the vertices of one graph.
+#[derive(Clone, Debug)]
+pub struct DegreeOrder {
+    /// `rank[v]` = position of `v` in the order (0 = first = highest degree).
+    rank: Box<[u32]>,
+    /// `order[i]` = the vertex at position `i`.
+    order: Box<[VertexId]>,
+}
+
+impl DegreeOrder {
+    /// Computes the order for `g`.
+    pub fn new(g: &CsrGraph) -> Self {
+        let mut order: Vec<VertexId> = (0..g.n() as VertexId).collect();
+        // Degree descending; larger id first on ties (paper's tiebreak).
+        order.sort_unstable_by(|&a, &b| {
+            g.degree(b)
+                .cmp(&g.degree(a))
+                .then_with(|| b.cmp(&a))
+        });
+        let mut rank = vec![0u32; g.n()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        DegreeOrder {
+            rank: rank.into_boxed_slice(),
+            order: order.into_boxed_slice(),
+        }
+    }
+
+    /// `true` iff `u ≺ v` (`u` comes earlier: higher degree / larger id).
+    #[inline]
+    pub fn precedes(&self, u: VertexId, v: VertexId) -> bool {
+        self.rank[u as usize] < self.rank[v as usize]
+    }
+
+    /// Position of `v` in the order.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Vertices in `≺` order (non-increasing degree).
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The vertex at position `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> VertexId {
+        self.order[i]
+    }
+}
+
+/// The oriented graph `G⁺`: for each vertex, its out-neighbors
+/// `N⁺(u) = { v ∈ N(u) : u ≺ v }`, stored sorted by rank so that
+/// `N⁺(u) ∩ N⁺(v)` is a sorted-merge away.
+#[derive(Clone, Debug)]
+pub struct OrientedGraph {
+    offsets: Box<[usize]>,
+    /// Out-neighbors, each list ascending by rank.
+    adj: Box<[VertexId]>,
+}
+
+impl OrientedGraph {
+    /// Orients `g` according to `order`.
+    pub fn new(g: &CsrGraph, order: &DegreeOrder) -> Self {
+        let n = g.n();
+        let mut out_deg = vec![0usize; n];
+        for u in g.vertices() {
+            out_deg[u as usize] = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| order.precedes(u, v))
+                .count();
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for &d in &out_deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut adj = vec![0 as VertexId; acc];
+        for u in g.vertices() {
+            let slot = &mut adj[offsets[u as usize]..offsets[u as usize + 1]];
+            let mut i = 0;
+            for &v in g.neighbors(u) {
+                if order.precedes(u, v) {
+                    slot[i] = v;
+                    i += 1;
+                }
+            }
+            slot.sort_unstable_by_key(|&v| order.rank(v));
+        }
+        OrientedGraph {
+            offsets: offsets.into_boxed_slice(),
+            adj: adj.into_boxed_slice(),
+        }
+    }
+
+    /// Out-neighbors of `u`, ascending by rank.
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Total number of directed edges (equals `m` of the source graph).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_edge() -> CsrGraph {
+        // 0 is the hub of a 4-star; extra edge (1,2).
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+    }
+
+    #[test]
+    fn order_is_degree_desc_then_id_desc() {
+        let g = star_plus_edge();
+        let ord = DegreeOrder::new(&g);
+        // degrees: 0:4, 1:2, 2:2, 3:1, 4:1 → order 0, 2, 1, 4, 3
+        let seq: Vec<_> = ord.iter().collect();
+        assert_eq!(seq, vec![0, 2, 1, 4, 3]);
+        assert!(ord.precedes(0, 1));
+        assert!(ord.precedes(2, 1), "tie broken toward larger id");
+        assert!(ord.precedes(4, 3));
+        assert!(!ord.precedes(3, 4));
+        assert_eq!(ord.at(0), 0);
+        assert_eq!(ord.rank(3), 4);
+    }
+
+    #[test]
+    fn orientation_is_total_and_acyclic() {
+        let g = star_plus_edge();
+        let ord = DegreeOrder::new(&g);
+        let og = OrientedGraph::new(&g, &ord);
+        assert_eq!(og.edge_count(), g.m());
+        for u in g.vertices() {
+            for &v in og.out_neighbors(u) {
+                assert!(ord.precedes(u, v), "edges point down the order");
+            }
+        }
+        // Each undirected edge appears exactly once across all out-lists.
+        let directed: usize = g.vertices().map(|u| og.out_degree(u)).sum();
+        assert_eq!(directed, g.m());
+    }
+
+    #[test]
+    fn out_lists_sorted_by_rank() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (2, 3)],
+        );
+        let ord = DegreeOrder::new(&g);
+        let og = OrientedGraph::new(&g, &ord);
+        for u in g.vertices() {
+            let ranks: Vec<_> = og.out_neighbors(u).iter().map(|&v| ord.rank(v)).collect();
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn regular_graph_tiebreaks_consistently() {
+        // 4-cycle: all degree 2; order must be ids descending.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let ord = DegreeOrder::new(&g);
+        let seq: Vec<_> = ord.iter().collect();
+        assert_eq!(seq, vec![3, 2, 1, 0]);
+    }
+}

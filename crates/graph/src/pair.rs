@@ -1,0 +1,56 @@
+//! Packed unordered vertex-pair keys.
+//!
+//! The per-vertex maps `S_u` and the global edge set are keyed by
+//! *unordered* pairs of `u32` vertices. Packing the canonical
+//! `(min, max)` pair into a single `u64` gives a one-word key that the
+//! Fx hasher digests in a single multiply — much cheaper than hashing a
+//! two-field tuple — and halves the key storage.
+
+use crate::VertexId;
+
+/// Packs an unordered pair into a canonical `u64` key
+/// (smaller id in the high 32 bits).
+///
+/// `pack_pair(u, v) == pack_pair(v, u)` for all `u != v`.
+#[inline]
+pub fn pack_pair(u: VertexId, v: VertexId) -> u64 {
+    debug_assert_ne!(u, v, "pair keys are for distinct vertices");
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+/// Inverse of [`pack_pair`]: returns `(min, max)`.
+#[inline]
+pub fn unpack_pair(key: u64) -> (VertexId, VertexId) {
+    ((key >> 32) as VertexId, key as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn symmetric_and_canonical() {
+        assert_eq!(pack_pair(3, 9), pack_pair(9, 3));
+        assert_eq!(unpack_pair(pack_pair(9, 3)), (3, 9));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(u in 0u32..1_000_000, v in 0u32..1_000_000) {
+            prop_assume!(u != v);
+            let (lo, hi) = unpack_pair(pack_pair(u, v));
+            prop_assert_eq!((lo, hi), (u.min(v), u.max(v)));
+            prop_assert_eq!(pack_pair(u, v), pack_pair(v, u));
+        }
+
+        #[test]
+        fn injective(a in 0u32..10_000, b in 0u32..10_000,
+                     c in 0u32..10_000, d in 0u32..10_000) {
+            prop_assume!(a != b && c != d);
+            let same_pair = (a.min(b), a.max(b)) == (c.min(d), c.max(d));
+            prop_assert_eq!(pack_pair(a, b) == pack_pair(c, d), same_pair);
+        }
+    }
+}

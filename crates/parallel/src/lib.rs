@@ -1,0 +1,25 @@
+//! Parallel all-vertex ego-betweenness (Section V).
+//!
+//! Both algorithms distribute the edge-centric kernel of
+//! [`egobtw_core::compute_all`]: each undirected edge `(a,b)` is processed
+//! exactly once — intersect the neighborhoods, write the triangle edge
+//! entries, bump connector counts for the diamond wings. Per-vertex maps
+//! are guarded by `parking_lot::Mutex` (the paper: "we should lock the map
+//! S when it is updated"); locks are taken one at a time, so there is no
+//! deadlock potential.
+//!
+//! * [`vertex_pebw`] — **VertexPEBW**: the work unit is a vertex, which
+//!   owns its out-edges under the total order `≺`. Because orientation
+//!   points from high degree to low, hubs own huge edge bundles — the
+//!   skewed load the paper observes;
+//! * [`edge_pebw`] — **EdgePEBW**: the work unit is a single oriented
+//!   edge, pulled from a shared atomic cursor in small chunks — balanced
+//!   load, and the faster of the two (Fig. 10).
+//!
+//! Because all shared state is integer counts, the final values are
+//! independent of thread interleaving up to float summation order inside
+//! each map (bounded by 1e-9 in tests against the sequential kernel).
+
+pub mod pebw;
+
+pub use pebw::{edge_pebw, vertex_pebw};

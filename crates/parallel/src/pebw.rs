@@ -1,0 +1,209 @@
+//! VertexPEBW and EdgePEBW.
+
+use egobtw_core::smap::PairMap;
+use egobtw_graph::intersect::intersect_into;
+use egobtw_graph::{CsrGraph, DegreeOrder, EdgeSet, OrientedGraph, VertexId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work pulled per `fetch_add`, amortizing cursor contention without
+/// hurting balance (items are cheap; 64 keeps the tail short).
+const CHUNK: usize = 64;
+
+/// Shared mutable state: one locked map per vertex.
+struct SharedMaps {
+    maps: Vec<Mutex<PairMap>>,
+}
+
+impl SharedMaps {
+    fn new(n: usize) -> Self {
+        SharedMaps {
+            maps: (0..n).map(|_| Mutex::new(PairMap::default())).collect(),
+        }
+    }
+
+    /// Processes one undirected edge `(a,b)` given its sorted common
+    /// neighborhood. Locks are acquired one map at a time.
+    #[inline]
+    fn apply_edge(&self, edges: &EdgeSet, a: VertexId, b: VertexId, common: &[VertexId]) {
+        for &x in common {
+            self.maps[x as usize].lock().set_edge(a, b);
+        }
+        if common.len() < 2 {
+            return;
+        }
+        // Batch this edge's connector bumps per endpoint map: one lock
+        // acquisition per endpoint instead of one per diamond.
+        let mut map_a = self.maps[a as usize].lock();
+        for (i, &x) in common.iter().enumerate() {
+            for &y in common.iter().skip(i + 1) {
+                if !edges.contains(x, y) {
+                    map_a.add_connector(x, y);
+                }
+            }
+        }
+        drop(map_a);
+        let mut map_b = self.maps[b as usize].lock();
+        for (i, &x) in common.iter().enumerate() {
+            for &y in common.iter().skip(i + 1) {
+                if !edges.contains(x, y) {
+                    map_b.add_connector(x, y);
+                }
+            }
+        }
+    }
+
+    /// Finalizes `CB` for every vertex, in parallel over disjoint ranges
+    /// (no lock contention remains).
+    fn finalize(self, g: &CsrGraph, threads: usize) -> Vec<f64> {
+        let n = g.n();
+        let mut cb = vec![0.0f64; n];
+        if n == 0 {
+            return cb;
+        }
+        let chunk = n.div_ceil(threads.max(1));
+        let maps = &self.maps;
+        crossbeam::thread::scope(|s| {
+            for (t, slot) in cb.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    let base = t * chunk;
+                    for (i, out) in slot.iter_mut().enumerate() {
+                        let v = (base + i) as VertexId;
+                        *out = maps[v as usize].lock().cb_given_degree(g.degree(v));
+                    }
+                });
+            }
+        })
+        .expect("finalize workers do not panic");
+        cb
+    }
+}
+
+/// **VertexPEBW**: vertices are the unit of work; each processes the edges
+/// it owns under the `≺` orientation (hubs own many — skewed load).
+pub fn vertex_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
+    assert!(threads >= 1);
+    let order = DegreeOrder::new(g);
+    let og = OrientedGraph::new(g, &order);
+    let edges = EdgeSet::from_graph(g);
+    let shared = SharedMaps::new(g.n());
+    let cursor = AtomicUsize::new(0);
+    let n = g.n();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                let mut common: Vec<VertexId> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + CHUNK).min(n) {
+                        let u = order.at(i);
+                        for &v in og.out_neighbors(u) {
+                            common.clear();
+                            intersect_into(g.neighbors(u), g.neighbors(v), &mut common);
+                            shared.apply_edge(&edges, u, v, &common);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("vertex workers do not panic");
+    shared.finalize(g, threads)
+}
+
+/// **EdgePEBW**: individual oriented edges are the unit of work — the
+/// balanced variant.
+pub fn edge_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
+    assert!(threads >= 1);
+    let edge_list: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let edges = EdgeSet::from_graph(g);
+    let shared = SharedMaps::new(g.n());
+    let cursor = AtomicUsize::new(0);
+    let m = edge_list.len();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                let mut common: Vec<VertexId> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= m {
+                        break;
+                    }
+                    for &(a, b) in &edge_list[start..(start + CHUNK).min(m)] {
+                        common.clear();
+                        intersect_into(g.neighbors(a), g.neighbors(b), &mut common);
+                        shared.apply_edge(&edges, a, b, &common);
+                    }
+                }
+            });
+        }
+    })
+    .expect("edge workers do not panic");
+    shared.finalize(g, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_core::compute_all;
+    use egobtw_gen::{barabasi_albert, classic, gnp, toy};
+
+    fn assert_matches_sequential(g: &CsrGraph, threads: usize) {
+        let (seq, _) = compute_all(g);
+        for (name, par) in [
+            ("vertex", vertex_pebw(g, threads)),
+            ("edge", edge_pebw(g, threads)),
+        ] {
+            assert_eq!(par.len(), seq.len());
+            for (v, (a, b)) in par.iter().zip(&seq).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{name} t={threads} vertex {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_matches() {
+        assert_matches_sequential(&toy::paper_graph(), 1);
+        assert_matches_sequential(&classic::karate_club(), 1);
+    }
+
+    #[test]
+    fn multi_thread_matches() {
+        for threads in [2, 4, 8] {
+            assert_matches_sequential(&classic::karate_club(), threads);
+            assert_matches_sequential(&gnp(60, 0.12, 3), threads);
+        }
+    }
+
+    #[test]
+    fn skewed_graph_matches() {
+        let g = barabasi_albert(400, 4, 9);
+        assert_matches_sequential(&g, 4);
+    }
+
+    #[test]
+    fn repeated_runs_agree() {
+        // Interleaving must not change results beyond float association.
+        let g = gnp(80, 0.1, 5);
+        let a = edge_pebw(&g, 4);
+        let b = edge_pebw(&g, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(vertex_pebw(&g, 2).is_empty());
+        assert!(edge_pebw(&g, 2).is_empty());
+        let g1 = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(vertex_pebw(&g1, 3), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: load or build a graph, find the top-k ego-betweenness
+//! vertices, and inspect them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use egobtw::prelude::*;
+
+fn main() {
+    // 1. Build a graph. Any edge list works — `GraphBuilder` dedupes and
+    //    drops self-loops; `egobtw::graph::io` reads SNAP files directly.
+    let mut b = GraphBuilder::new();
+    for (u, v) in [
+        (0, 1), (0, 2), (1, 2), // a triangle ...
+        (2, 3),                 // ... bridged by vertex 2/3 ...
+        (3, 4), (3, 5), (4, 5), // ... to another triangle,
+        (5, 6),                 // with a pendant tail.
+    ] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    println!("graph: n={} m={}", g.n(), g.m());
+
+    // 2. Top-k search. OptBSearch is the paper's fast algorithm; its
+    //    dynamic upper bound prunes vertices that cannot reach the top-k.
+    let k = 3;
+    let result = opt_bsearch(&g, k, OptParams::default());
+    println!("\ntop-{k} ego-betweenness:");
+    for (rank, (v, cb)) in result.entries.iter().enumerate() {
+        println!("  #{:<2} vertex {v:<3} CB = {cb:.4}", rank + 1);
+    }
+    println!(
+        "(computed {} of {} vertices exactly; {} pruned by bounds)",
+        result.stats.exact_computations,
+        g.n(),
+        result.stats.pruned
+    );
+
+    // 3. Spot-check a single vertex with the direct per-ego formula.
+    let v = result.entries[0].0;
+    println!(
+        "\ndirect recomputation of vertex {v}: {}",
+        ego_betweenness_of(&g, v)
+    );
+
+    // 4. Exact scores for everyone (the k = n path), if you need them all.
+    let (all, _) = compute_all(&g);
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    println!("mean CB over all vertices: {mean:.4}");
+}

@@ -1,0 +1,60 @@
+//! Scenario from the paper's introduction: find the influential users of a
+//! social network — the vertices that control information flow between
+//! their contacts — without paying for full betweenness centrality.
+//!
+//! Generates a Barabási–Albert social network, runs TopEBW (OptBSearch)
+//! and TopBW (parallel Brandes), and reports the runtime gap and the
+//! overlap of the two answers (the paper's Exp-6 in miniature).
+//!
+//! ```text
+//! cargo run --release --example social_influencers
+//! ```
+
+use egobtw::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 5_000;
+    let g = egobtw::gen::barabasi_albert(n, 4, 42);
+    println!(
+        "social network (Barabási–Albert): n={} m={} dmax={}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    let k = 20;
+
+    let t0 = Instant::now();
+    let ebw = opt_bsearch(&g, k, OptParams::default());
+    let t_ebw = t0.elapsed();
+
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let t0 = Instant::now();
+    let bw = top_bw(&g, k, threads);
+    let t_bw = t0.elapsed();
+
+    println!("\ntop-{k} by ego-betweenness (TopEBW, {t_ebw:.2?}):");
+    println!("{:<6} {:>8} {:>12}", "vertex", "degree", "CB");
+    for (v, cb) in &ebw.entries {
+        println!("{v:<6} {:>8} {cb:>12.2}", g.degree(*v));
+    }
+
+    println!("\ntop-{k} by betweenness (TopBW, Brandes × {threads} threads, {t_bw:.2?}):");
+    println!("{:<6} {:>8} {:>12}", "vertex", "degree", "BT");
+    for (v, bt) in &bw {
+        println!("{v:<6} {:>8} {bt:>12.1}", g.degree(*v));
+    }
+
+    let ev: Vec<VertexId> = ebw.entries.iter().map(|e| e.0).collect();
+    let bv: Vec<VertexId> = bw.iter().map(|e| e.0).collect();
+    println!(
+        "\noverlap |BW ∩ EBW| / k = {:.0}%   speedup = {:.0}×",
+        100.0 * overlap_fraction(&ev, &bv),
+        t_bw.as_secs_f64() / t_ebw.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "(ego-betweenness pruned to {} exact computations out of {n} vertices)",
+        ebw.stats.exact_computations
+    );
+}

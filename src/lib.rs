@@ -1,0 +1,46 @@
+//! # egobtw — Efficient Top-k Ego-Betweenness Search
+//!
+//! A complete Rust implementation of *"Efficient Top-k Ego-Betweenness
+//! Search"* (ICDE 2022): the static top-k searches (BaseBSearch /
+//! OptBSearch), exact and lazy maintenance under edge updates, parallel
+//! all-vertex computation, and the Brandes-betweenness baseline used in
+//! the paper's effectiveness study — plus the graph substrate and
+//! synthetic dataset generators everything runs on.
+//!
+//! This umbrella crate re-exports the member crates under short names;
+//! depend on it for the whole toolkit, or on the member crates
+//! individually.
+//!
+//! ## Example
+//!
+//! ```
+//! use egobtw::prelude::*;
+//!
+//! // Build a small social network and find its top-3 brokers.
+//! let g = egobtw::gen::classic::karate_club();
+//! let top = opt_bsearch(&g, 3, OptParams::default());
+//! assert_eq!(top.entries.len(), 3);
+//!
+//! // Maintain the answer while the network changes.
+//! let mut lazy = LazyTopK::new(&g, 3);
+//! lazy.insert_edge(16, 25);
+//! let _current = lazy.top_k();
+//! ```
+
+pub use egobtw_baseline as baseline;
+pub use egobtw_core as core;
+pub use egobtw_dynamic as dynamic;
+pub use egobtw_gen as gen;
+pub use egobtw_graph as graph;
+pub use egobtw_parallel as parallel;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use egobtw_baseline::{betweenness, betweenness_parallel, overlap_fraction, top_bw};
+    pub use egobtw_core::{
+        base_bsearch, compute_all, compute_all_naive, ego_betweenness_of, opt_bsearch, OptParams,
+    };
+    pub use egobtw_dynamic::{LazyTopK, LocalIndex};
+    pub use egobtw_graph::{CsrGraph, DynGraph, GraphBuilder, VertexId};
+    pub use egobtw_parallel::{edge_pebw, vertex_pebw};
+}
