@@ -18,4 +18,4 @@ pub mod brandes;
 pub mod overlap;
 
 pub use brandes::{betweenness, betweenness_parallel, top_bw};
-pub use overlap::{overlap_fraction, jaccard};
+pub use overlap::{jaccard, overlap_fraction};

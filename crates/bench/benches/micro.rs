@@ -60,12 +60,7 @@ fn bench_edge_membership(c: &mut Criterion) {
         })
     });
     group.bench_function("csr_binary_search", |b| {
-        b.iter(|| {
-            queries
-                .iter()
-                .filter(|&&(u, v)| g.has_edge(u, v))
-                .count()
-        })
+        b.iter(|| queries.iter().filter(|&&(u, v)| g.has_edge(u, v)).count())
     });
     group.finish();
 }
@@ -73,7 +68,12 @@ fn bench_edge_membership(c: &mut Criterion) {
 fn bench_pair_hashing(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let pairs: Vec<(u32, u32)> = (0..10_000)
-        .map(|_| (rng.random_range(0..1u32 << 20), rng.random_range(0..1u32 << 20)))
+        .map(|_| {
+            (
+                rng.random_range(0..1u32 << 20),
+                rng.random_range(0..1u32 << 20),
+            )
+        })
         .filter(|(a, b)| a != b)
         .collect();
     let mut group = c.benchmark_group("pair_map_insert_10k");
@@ -88,7 +88,8 @@ fn bench_pair_hashing(c: &mut Criterion) {
     });
     group.bench_function("siphash_tuple", |b| {
         b.iter(|| {
-            let mut m: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+            let mut m: std::collections::HashMap<(u32, u32), u32> =
+                std::collections::HashMap::new();
             for &(u, v) in &pairs {
                 let key = (u.min(v), u.max(v));
                 *m.entry(key).or_insert(0) += 1;

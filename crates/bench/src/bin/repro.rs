@@ -151,9 +151,10 @@ fn exp2(scale: f64) {
     let thetas = [1.05, 1.10, 1.15, 1.20, 1.25, 1.30];
     let sets = standins(scale);
     let mut rows = Vec::new();
-    for d in sets.iter().filter(|d| {
-        d.name == "wikitalk-like" || d.name == "livejournal-like"
-    }) {
+    for d in sets
+        .iter()
+        .filter(|d| d.name == "wikitalk-like" || d.name == "livejournal-like")
+    {
         for &theta in &thetas {
             let (r, t) = time(|| opt_bsearch(&d.graph, 500, OptParams { theta }));
             rows.push(vec![
@@ -173,12 +174,11 @@ fn exp2(scale: f64) {
 
 // ------------------------------------------------------------- Fig. 8
 
+/// Undirected edge list, as produced by [`pick_updates`].
+type EdgeList = Vec<(VertexId, VertexId)>;
+
 /// Picks `count` random insertable non-edges and deletable edges.
-fn pick_updates(
-    g: &egobtw_graph::CsrGraph,
-    count: usize,
-    seed: u64,
-) -> (Vec<(VertexId, VertexId)>, Vec<(VertexId, VertexId)>) {
+fn pick_updates(g: &egobtw_graph::CsrGraph, count: usize, seed: u64) -> (EdgeList, EdgeList) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.n() as VertexId;
     let mut inserts = Vec::with_capacity(count);
@@ -235,9 +235,8 @@ fn exp3(scale: f64, k: usize) {
             }
         });
 
-        let per = |t: std::time::Duration, c: usize| {
-            format!("{:.4}", t.as_secs_f64() * 1e3 / c as f64)
-        };
+        let per =
+            |t: std::time::Duration, c: usize| format!("{:.4}", t.as_secs_f64() * 1e3 / c as f64);
         rows.push(vec![
             d.name.into(),
             per(t_li, inserts.len()),
@@ -334,11 +333,7 @@ fn run_bw_vs_ebw(d: &Dataset, ks: &[usize], threads: usize) -> Vec<Vec<String>> 
     // Betweenness is k-independent; compute once.
     let (bc, t_bw_all) = time(|| egobtw_baseline::betweenness_parallel(&d.graph, threads));
     let mut ranked: Vec<VertexId> = (0..d.graph.n() as VertexId).collect();
-    ranked.sort_by(|&a, &b| {
-        bc[b as usize]
-            .total_cmp(&bc[a as usize])
-            .then(a.cmp(&b))
-    });
+    ranked.sort_by(|&a, &b| bc[b as usize].total_cmp(&bc[a as usize]).then(a.cmp(&b)));
     for &k in ks {
         let (ebw, t_ebw) = time(|| opt_bsearch(&d.graph, k, OptParams::default()));
         let ev: Vec<VertexId> = ebw.entries.iter().map(|e| e.0).collect();
@@ -348,7 +343,10 @@ fn run_bw_vs_ebw(d: &Dataset, ks: &[usize], threads: usize) -> Vec<Vec<String>> 
             k.to_string(),
             ms(t_bw_all),
             ms(t_ebw),
-            format!("{:.0}x", t_bw_all.as_secs_f64() / t_ebw.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.0}x",
+                t_bw_all.as_secs_f64() / t_ebw.as_secs_f64().max(1e-12)
+            ),
             format!("{:.0}%", 100.0 * overlap_fraction(&bv, &ev)),
         ]);
     }
@@ -369,7 +367,14 @@ fn exp6(scale: f64) {
         rows.extend(run_bw_vs_ebw(&d, &ks, threads));
     }
     print_table(
-        &["dataset", "k", "TopBW (ms)", "TopEBW (ms)", "speedup", "overlap"],
+        &[
+            "dataset",
+            "k",
+            "TopBW (ms)",
+            "TopEBW (ms)",
+            "speedup",
+            "overlap",
+        ],
         &rows,
     );
 }
@@ -393,7 +398,14 @@ fn exp7(scale: f64) {
         rows.extend(run_bw_vs_ebw(d, &ks, threads));
     }
     print_table(
-        &["dataset", "k", "TopBW (ms)", "TopEBW (ms)", "speedup", "overlap"],
+        &[
+            "dataset",
+            "k",
+            "TopBW (ms)",
+            "TopEBW (ms)",
+            "speedup",
+            "overlap",
+        ],
         &rows,
     );
 
@@ -403,16 +415,16 @@ fn exp7(scale: f64) {
         let bw = top_bw(&d.graph, 10, threads);
         let in_bw: Vec<VertexId> = bw.iter().map(|e| e.0).collect();
         let in_ebw: Vec<VertexId> = ebw.entries.iter().map(|e| e.0).collect();
-        println!("\n{} (authors appearing in both lists are starred):", d.name);
+        println!(
+            "\n{} (authors appearing in both lists are starred):",
+            d.name
+        );
         let rows: Vec<Vec<String>> = (0..10)
             .map(|i| {
                 let (ve, cbe) = ebw.entries[i];
                 let (vb, btb) = bw[i];
                 vec![
-                    format!(
-                        "{}author-{ve}",
-                        if in_bw.contains(&ve) { "*" } else { " " }
-                    ),
+                    format!("{}author-{ve}", if in_bw.contains(&ve) { "*" } else { " " }),
                     d.graph.degree(ve).to_string(),
                     format!("{cbe:.1}"),
                     format!(
@@ -424,10 +436,7 @@ fn exp7(scale: f64) {
                 ]
             })
             .collect();
-        print_table(
-            &["Top-10 EBW", "d", "CB", "Top-10 BW", "d", "BT"],
-            &rows,
-        );
+        print_table(&["Top-10 EBW", "d", "CB", "Top-10 BW", "d", "BT"], &rows);
     }
 }
 

@@ -136,7 +136,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         s
     };
     println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

@@ -43,6 +43,8 @@
 //! assert_eq!(result.entries[0], (0, 10.0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod base_search;
 pub mod bounds;
 pub mod compute_all;

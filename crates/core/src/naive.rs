@@ -159,7 +159,10 @@ mod tests {
     const EPS: f64 = 1e-9;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() <= EPS * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= EPS * a.abs().max(b.abs()).max(1.0),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
@@ -205,10 +208,7 @@ mod tests {
     #[test]
     fn paper_example1_cb_of_d() {
         let g = egobtw_gen::toy::paper_graph();
-        assert_close(
-            ego_betweenness_of(&g, egobtw_gen::toy::ids::D),
-            14.0 / 3.0,
-        );
+        assert_close(ego_betweenness_of(&g, egobtw_gen::toy::ids::D), 14.0 / 3.0);
     }
 
     #[test]

@@ -57,11 +57,7 @@ impl LazyTopK {
         let (cb, _) = egobtw_core::compute_all(g);
         let n = g.n();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-        order.sort_by(|&a, &b| {
-            cb[b as usize]
-                .total_cmp(&cb[a as usize])
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| cb[b as usize].total_cmp(&cb[a as usize]).then(a.cmp(&b)));
         let r: Vec<VertexId> = order.iter().copied().take(k).collect();
         let mut in_r = vec![false; n];
         for &v in &r {
@@ -97,11 +93,8 @@ impl LazyTopK {
         for v in members {
             self.freshen(v);
         }
-        let mut out: Vec<(VertexId, f64)> = self
-            .r
-            .iter()
-            .map(|&v| (v, self.val[v as usize]))
-            .collect();
+        let mut out: Vec<(VertexId, f64)> =
+            self.r.iter().map(|&v| (v, self.val[v as usize])).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -150,19 +143,19 @@ impl LazyTopK {
     fn rebalance(&mut self) {
         // Fill up if under capacity.
         while self.r.len() < self.k {
-            let Some((o, vo)) = self.best_outsider() else { break };
+            let Some((o, vo)) = self.best_outsider() else {
+                break;
+            };
             self.promote(o, vo);
         }
         // Swap while the best outsider beats the weakest member.
-        loop {
-            let Some((o, vo)) = self.best_outsider() else { break };
+        while let Some((o, vo)) = self.best_outsider() {
             let Some((ri, rv)) = self
                 .r
                 .iter()
                 .enumerate()
                 .map(|(i, &v)| (i, v))
                 .min_by(|a, b| self.val[a.1 as usize].total_cmp(&self.val[b.1 as usize]))
-                .map(|(i, v)| (i, v))
             else {
                 break;
             };

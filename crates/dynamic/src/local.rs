@@ -42,9 +42,7 @@ impl LocalIndex {
         let mut store = SMapStore::new(g.n());
         let mut stats = egobtw_core::stats::SearchStats::default();
         let edges = egobtw_graph::EdgeSet::from_graph(g);
-        egobtw_core::compute_all::process_edge_range(
-            g, &edges, &mut store, &mut stats, 0, g.n(),
-        );
+        egobtw_core::compute_all::process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
         let cb = (0..g.n() as VertexId)
             .map(|v| store.map(v).cb_given_degree(g.degree(v)))
             .collect();
@@ -135,7 +133,11 @@ impl LocalIndex {
         } else {
             m.set_raw(x, y, connectors);
         }
-        let new_opt = if connectors == 0 { None } else { Some(connectors) };
+        let new_opt = if connectors == 0 {
+            None
+        } else {
+            Some(connectors)
+        };
         self.cb[w as usize] += contrib(new_opt);
     }
 
@@ -299,11 +301,7 @@ impl LocalIndex {
                 for &y in nbrs.iter().skip(i + 1) {
                     let stored = self.store.map(w).get(x, y);
                     if self.g.has_edge(x, y) {
-                        assert_eq!(
-                            stored,
-                            Some(0),
-                            "S_{w}({x},{y}) should be an edge entry"
-                        );
+                        assert_eq!(stored, Some(0), "S_{w}({x},{y}) should be an edge entry");
                         entries += 1;
                         continue;
                     }

@@ -68,6 +68,7 @@ pub fn barbell(s: usize) -> CsrGraph {
 /// Zachary's karate club (34 vertices, 78 edges) — the standard
 /// social-network toy dataset, hardcoded.
 pub fn karate_club() -> CsrGraph {
+    #[rustfmt::skip]
     const EDGES: [(VertexId, VertexId); 78] = [
         (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
         (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),

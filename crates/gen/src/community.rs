@@ -62,8 +62,7 @@ pub fn planted_partition(p: PlantedPartition, seed: u64) -> CsrGraph {
             attempts += 1;
             let u = rng.random_range(0..n as VertexId);
             let v = rng.random_range(0..n as VertexId);
-            let same_comm =
-                (u as usize) / p.community_size == (v as usize) / p.community_size;
+            let same_comm = (u as usize) / p.community_size == (v as usize) / p.community_size;
             if u != v && !same_comm && seen.insert(pack_pair(u, v)) {
                 edges.push((u, v));
                 placed += 1;

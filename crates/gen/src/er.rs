@@ -9,7 +9,10 @@ use rand::{Rng, SeedableRng};
 /// Panics if `m` exceeds the number of available pairs.
 pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= pairs, "requested {m} edges but only {pairs} pairs exist");
+    assert!(
+        m <= pairs,
+        "requested {m} edges but only {pairs} pairs exist"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     seen.reserve(m);
@@ -56,15 +59,9 @@ mod tests {
     fn gnm_deterministic() {
         let a = gnm(50, 100, 9);
         let b = gnm(50, 100, 9);
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
         let c = gnm(50, 100, 10);
-        assert_ne!(
-            a.edges().collect::<Vec<_>>(),
-            c.edges().collect::<Vec<_>>()
-        );
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl RmatParams {
 /// small, in which case generation stops after a bounded number of
 /// attempts and the graph may have fewer edges).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
-    assert!(scale >= 1 && scale < 31, "scale out of range");
+    assert!((1..31).contains(&scale), "scale out of range");
     let n = 1usize << scale;
     let target = edge_factor * n;
     let mut rng = StdRng::seed_from_u64(seed);

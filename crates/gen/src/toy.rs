@@ -43,6 +43,7 @@ pub mod ids {
 }
 
 /// The 30 edges of Fig. 1(a).
+#[rustfmt::skip]
 pub const EDGES: [(VertexId, VertexId); 30] = {
     use ids::*;
     [
@@ -175,7 +176,7 @@ mod tests {
     fn labels_roundtrip() {
         assert_eq!(label(C), 'c');
         assert_eq!(label(V), 'v');
-        let mut seen: Vec<char> = (0..16).map(|v| label(v)).collect();
+        let mut seen: Vec<char> = (0..16).map(label).collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), 16, "labels are distinct");

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// `k` must be even and `< n`.
 pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "lattice degree must be below n");
     assert!((0.0..=1.0).contains(&p));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -29,11 +29,11 @@ pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
             edges.push((a, b));
         }
     }
-    for i in 0..edges.len() {
+    for e in &mut edges {
         if !rng.random_bool(p) {
             continue;
         }
-        let (u, _old) = edges[i];
+        let u = e.0;
         let w = rng.random_range(0..n as VertexId);
         if w == u {
             continue;
@@ -42,10 +42,10 @@ pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
         if present.contains(&new_key) {
             continue;
         }
-        let old_key = egobtw_graph::pack_pair(edges[i].0, edges[i].1);
+        let old_key = egobtw_graph::pack_pair(e.0, e.1);
         present.remove(&old_key);
         present.insert(new_key);
-        edges[i] = (u, w);
+        *e = (u, w);
     }
     CsrGraph::from_edges(n, &edges)
 }

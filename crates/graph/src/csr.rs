@@ -115,7 +115,7 @@ impl CsrGraph {
     /// Iterator over all vertices.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.n() as VertexId).into_iter()
+        0..self.n() as VertexId
     }
 
     /// Iterator over undirected edges as `(min, max)` pairs.
@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn adjacency_sorted_and_symmetric() {
-        let g = CsrGraph::from_edges(
-            6,
-            &[(5, 0), (4, 0), (3, 0), (0, 1), (2, 0), (1, 2), (3, 4)],
-        );
+        let g = CsrGraph::from_edges(6, &[(5, 0), (4, 0), (3, 0), (0, 1), (2, 0), (1, 2), (3, 4)]);
         for u in g.vertices() {
             let ns = g.neighbors(u);
             assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, unique");

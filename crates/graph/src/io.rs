@@ -20,7 +20,12 @@ pub enum IoError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A non-comment line did not contain two integer tokens.
-    Parse { line_no: usize, line: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// The offending line, verbatim.
+        line: String,
+    },
 }
 
 impl std::fmt::Display for IoError {

@@ -22,6 +22,8 @@
 //! Vertices are dense `u32` identifiers in `0..n`, following the
 //! small-integer-id idiom for compact adjacency storage.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod csr;
 pub mod dynamic;

@@ -26,11 +26,7 @@ impl DegreeOrder {
     pub fn new(g: &CsrGraph) -> Self {
         let mut order: Vec<VertexId> = (0..g.n() as VertexId).collect();
         // Degree descending; larger id first on ties (paper's tiebreak).
-        order.sort_unstable_by(|&a, &b| {
-            g.degree(b)
-                .cmp(&g.degree(a))
-                .then_with(|| b.cmp(&a))
-        });
+        order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then_with(|| b.cmp(&a)));
         let mut rank = vec![0u32; g.n()];
         for (i, &v) in order.iter().enumerate() {
             rank[v as usize] = i as u32;
@@ -176,7 +172,16 @@ mod tests {
     fn out_lists_sorted_by_rank() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (2, 3)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+            ],
         );
         let ord = DegreeOrder::new(&g);
         let og = OrientedGraph::new(&g, &ord);

@@ -63,9 +63,9 @@ impl SharedMaps {
         }
         let chunk = n.div_ceil(threads.max(1));
         let maps = &self.maps;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, slot) in cb.chunks_mut(chunk).enumerate() {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let base = t * chunk;
                     for (i, out) in slot.iter_mut().enumerate() {
                         let v = (base + i) as VertexId;
@@ -73,8 +73,7 @@ impl SharedMaps {
                     }
                 });
             }
-        })
-        .expect("finalize workers do not panic");
+        });
         cb
     }
 }
@@ -89,9 +88,9 @@ pub fn vertex_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
     let shared = SharedMaps::new(g.n());
     let cursor = AtomicUsize::new(0);
     let n = g.n();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
+            s.spawn(|| {
                 let mut common: Vec<VertexId> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
@@ -109,8 +108,7 @@ pub fn vertex_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
                 }
             });
         }
-    })
-    .expect("vertex workers do not panic");
+    });
     shared.finalize(g, threads)
 }
 
@@ -123,9 +121,9 @@ pub fn edge_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
     let shared = SharedMaps::new(g.n());
     let cursor = AtomicUsize::new(0);
     let m = edge_list.len();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
+            s.spawn(|| {
                 let mut common: Vec<VertexId> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
@@ -140,8 +138,7 @@ pub fn edge_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
                 }
             });
         }
-    })
-    .expect("edge workers do not panic");
+    });
     shared.finalize(g, threads)
 }
 

@@ -37,11 +37,11 @@ fn main() {
     let in_bw: Vec<VertexId> = bw.iter().map(|e| e.0).collect();
     let in_ebw: Vec<VertexId> = ebw.entries.iter().map(|e| e.0).collect();
 
-    println!("\n{:<24} {:>4} {:>10} | {:<24} {:>4} {:>12}",
-        "Top-10 EBW", "d", "CB", "Top-10 BW", "d", "BT");
-    for i in 0..k {
-        let (ve, cbe) = ebw.entries[i];
-        let (vb, btb) = bw[i];
+    println!(
+        "\n{:<24} {:>4} {:>10} | {:<24} {:>4} {:>12}",
+        "Top-10 EBW", "d", "CB", "Top-10 BW", "d", "BT"
+    );
+    for (&(ve, cbe), &(vb, btb)) in ebw.entries.iter().zip(&bw).take(k) {
         let star_e = if in_bw.contains(&ve) { "*" } else { " " };
         let star_b = if in_ebw.contains(&vb) { "*" } else { " " };
         println!(

@@ -60,11 +60,16 @@ fn main() {
             for (rank, (v, cb)) in top.iter().take(5).enumerate() {
                 println!("  #{:<2} vertex {v:<6} CB = {cb:.3}", rank + 1);
             }
-            // The two maintainers must agree on the top-k values.
+            // The two maintainers must agree on the top-k values. The
+            // comparison is relative: CB values here reach ~1e5 as sums of
+            // thousands of 1/(c+1) terms, and the incremental updates
+            // legitimately round differently from a batch recompute.
             let lv: Vec<f64> = top.iter().map(|e| e.1).collect();
             let tv: Vec<f64> = local.top_k(k).iter().map(|e| e.1).collect();
             assert!(
-                lv.iter().zip(&tv).all(|(a, b)| (a - b).abs() < 1e-9),
+                lv.iter()
+                    .zip(&tv)
+                    .all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))),
                 "maintainers diverged"
             );
         }

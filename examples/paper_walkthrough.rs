@@ -70,14 +70,26 @@ fn main() {
     let mut local = LocalIndex::new(&g);
     local.delete_edge(ids::C, ids::G);
     row('g', local.cb(ids::G), "1/2");
-    row('c', local.cb(ids::C), "14/3; the paper prints 55/6, which contradicts its own Lemma 6");
-    row('e', local.cb(ids::E), "13/2; the paper prints 9/2, which contradicts its own Lemma 7");
+    row(
+        'c',
+        local.cb(ids::C),
+        "14/3; the paper prints 55/6, which contradicts its own Lemma 6",
+    );
+    row(
+        'e',
+        local.cb(ids::E),
+        "13/2; the paper prints 9/2, which contradicts its own Lemma 7",
+    );
 
     // --- Example 7: LazyInsert with k = 1 ---
     println!("\nExample 7 (LazyInsert, k=1):");
     let mut lazy = LazyTopK::new(&g, 1);
     let before = lazy.top_k();
-    println!("  before: top-1 = {} ({:.3})", toy::label(before[0].0), before[0].1);
+    println!(
+        "  before: top-1 = {} ({:.3})",
+        toy::label(before[0].0),
+        before[0].1
+    );
     lazy.insert_edge(ids::I, ids::K);
     let after = lazy.top_k();
     println!(

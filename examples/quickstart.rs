@@ -7,16 +7,19 @@
 
 use egobtw::prelude::*;
 
+#[rustfmt::skip]
+const EDGES: [(u32, u32); 8] = [
+    (0, 1), (0, 2), (1, 2), // a triangle ...
+    (2, 3),                 // ... bridged by vertex 2/3 ...
+    (3, 4), (3, 5), (4, 5), // ... to another triangle,
+    (5, 6),                 // with a pendant tail.
+];
+
 fn main() {
     // 1. Build a graph. Any edge list works — `GraphBuilder` dedupes and
     //    drops self-loops; `egobtw::graph::io` reads SNAP files directly.
     let mut b = GraphBuilder::new();
-    for (u, v) in [
-        (0, 1), (0, 2), (1, 2), // a triangle ...
-        (2, 3),                 // ... bridged by vertex 2/3 ...
-        (3, 4), (3, 5), (4, 5), // ... to another triangle,
-        (5, 6),                 // with a pendant tail.
-    ] {
+    for (u, v) in EDGES {
         b.add_edge(u, v);
     }
     let g = b.build();

@@ -1,0 +1,269 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! registry, so instead of the real `rand` we vendor the small slice of its
+//! 0.9 API that the workspace actually uses:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] — every generator in
+//!   this workspace is seeded explicitly for reproducibility;
+//! * [`Rng::random_range`] over half-open integer ranges;
+//! * [`Rng::random_bool`] and [`Rng::random`] (`f64` in `[0, 1)`);
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind `StdRng` here is xoshiro256++ seeded via SplitMix64
+//! (not ChaCha12 as in the real crate), so streams differ from upstream
+//! `rand` — but they are deterministic per seed, which is the property the
+//! generators and tests rely on. If the real crate ever becomes available,
+//! deleting `vendor/rand` and pointing the workspace dependency at the
+//! registry is a drop-in swap.
+
+/// A source of 64-bit random words. The minimal core trait every generator
+/// implements; all higher-level sampling in [`Rng`] is derived from it.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open `lo..hi` range. Panics if the
+    /// range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_half_open(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // `unit_f64` is in [0, 1), so p == 1.0 always passes and p == 0.0
+        // never does, matching the real crate's endpoint behaviour.
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value from the "standard" distribution of `T` — for `f64`,
+    /// uniform in `[0, 1)`.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `lo..hi`. Panics if `lo >= hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Debiased multiply-shift (Lemire); the rejection loop runs
+                // ~once for the small spans used in this workspace.
+                loop {
+                    let x = rng.next_u64();
+                    let hi128 = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo128 = x.wrapping_mul(span);
+                    if lo128 >= span || lo128 >= (span.wrapping_neg() % span) {
+                        return lo + hi128 as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                let off = <$u as SampleUniform>::sample_half_open(rng, 0, span);
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i32 => u32, i64 => u64);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample from empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Types with a "standard" distribution for [`Rng::random`].
+pub trait StandardSample {
+    /// Draws one value from the type's standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's default generator: xoshiro256++ (Blackman & Vigna),
+    /// seeded through SplitMix64 so that any `u64` seed yields a
+    /// well-mixed initial state.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_half_open(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u32> = (0..32).map(|_| a.random_range(0..1_000_000u32)).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.random_range(0..1_000_000u32)).collect();
+        let vc: Vec<u32> = (0..32).map(|_| c.random_range(0..1_000_000u32)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5..40u32);
+            assert!((5..40).contains(&x));
+            let y = rng.random_range(0..3usize);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seeded shuffle should move something");
+    }
+}
