@@ -1,0 +1,169 @@
+//! Reproducible differential stress sweeps.
+//!
+//! ```text
+//! cargo run --release -p conformance --bin stress -- --seed 42 --budget 200
+//!
+//! flags:
+//!   --seed S        sweep key (default 42); same seed ⇒ same scenarios
+//!   --budget N      number of scenarios to run (default 200)
+//!   --max-secs T    stop early (green) after T seconds of checking
+//!   --mutate KIND   inject a deliberately broken engine (tie-drop |
+//!                   bias | stale-graph) to demonstrate detection +
+//!                   shrinking; the run is then EXPECTED to fail
+//!   --verbose       print every scenario label as it runs
+//! ```
+//!
+//! On divergence: the offending oracle and scenario are reported, the
+//! case is greedily shrunk against the same oracle set, and the minimal
+//! case is printed as a ready-to-paste `#[test]` calling
+//! `conformance::assert_case`. Exit code 1.
+
+use conformance::{check_case_with, scenario, shrink, Case, FaultyOracle, Mismatch, Mutation};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    budget: usize,
+    max_secs: Option<f64>,
+    mutate: Option<Mutation>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        seed: 42,
+        budget: 200,
+        max_secs: None,
+        mutate: None,
+        verbose: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--seed" => {
+                args.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--budget" => {
+                args.budget = value(i)?.parse().map_err(|e| format!("--budget: {e}"))?;
+                i += 2;
+            }
+            "--max-secs" => {
+                args.max_secs = Some(value(i)?.parse().map_err(|e| format!("--max-secs: {e}"))?);
+                i += 2;
+            }
+            "--mutate" => {
+                let kind = value(i)?;
+                args.mutate =
+                    Some(Mutation::parse(kind).ok_or_else(|| {
+                        format!("unknown mutation {kind:?} ({})", Mutation::NAMES)
+                    })?);
+                i += 2;
+            }
+            "--verbose" => {
+                args.verbose = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report_failure(case: &Case, mismatch: &Mismatch, oracles: &[Box<dyn conformance::Oracle>]) {
+    eprintln!("\nFAIL on scenario {}", case.label);
+    eprintln!("  {mismatch}");
+    eprintln!(
+        "  shrinking ({} vertices, {} edges, {} ops)…",
+        case.n,
+        case.edges.len(),
+        case.ops.len()
+    );
+    let fails = |c: &Case| check_case_with(c, oracles).is_err();
+    let minimal = shrink(case, &fails, 8);
+    let final_mismatch =
+        check_case_with(&minimal, oracles).expect_err("shrunk case must still fail");
+    eprintln!(
+        "  minimal failing case: {} vertices, {} edges, {} ops, k={}",
+        minimal.n,
+        minimal.edges.len(),
+        minimal.ops.len(),
+        minimal.k
+    );
+    let why = format!(
+        "Shrunk from scenario `{}`.\nDivergence: {final_mismatch}",
+        case.label
+    );
+    eprintln!("\npaste this into crates/conformance/tests/ as a regression test:\n");
+    eprintln!("{}", minimal.to_test_code(&why));
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: stress [--seed S] [--budget N] [--max-secs T] \
+                 [--mutate {}] [--verbose]",
+                Mutation::NAMES
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut oracles = conformance::all_oracles();
+    if let Some(kind) = args.mutate {
+        eprintln!("note: injecting deliberately broken engine mutant::{kind:?}");
+        oracles.push(Box::new(FaultyOracle(kind)));
+    }
+    println!(
+        "conformance stress: seed={} budget={} oracles={}",
+        args.seed,
+        args.budget,
+        oracles.len()
+    );
+    for oracle in &oracles {
+        println!("  - {}", oracle.name());
+    }
+
+    let start = Instant::now();
+    let mut by_family: BTreeMap<String, usize> = BTreeMap::new();
+    let mut with_streams = 0usize;
+    let mut ran = 0usize;
+    for idx in 0..args.budget {
+        if let Some(limit) = args.max_secs {
+            if start.elapsed().as_secs_f64() > limit {
+                println!("time budget reached after {ran} scenarios");
+                break;
+            }
+        }
+        let case = scenario(args.seed, idx);
+        if args.verbose {
+            println!("  [{idx:>4}] {}", case.label);
+        }
+        if let Err(mismatch) = check_case_with(&case, &oracles) {
+            report_failure(&case, &mismatch, &oracles);
+            std::process::exit(1);
+        }
+        *by_family
+            .entry(conformance::FAMILIES[idx % conformance::FAMILIES.len()].to_string())
+            .or_default() += 1;
+        with_streams += usize::from(!case.ops.is_empty());
+        ran += 1;
+    }
+
+    let families: Vec<String> = by_family.iter().map(|(f, c)| format!("{f}:{c}")).collect();
+    println!(
+        "PASS: {ran} scenarios ({} with update streams) × {} oracles in {:.2}s",
+        with_streams,
+        oracles.len(),
+        start.elapsed().as_secs_f64()
+    );
+    println!("  families: {}", families.join(" "));
+}

@@ -1,0 +1,123 @@
+//! The unit of differential testing: one concrete, self-contained case.
+//!
+//! A [`Case`] pins everything an engine's answer can depend on — vertex
+//! count, explicit edge list, `k`, and an update stream — as plain data.
+//! Scenarios *generate* cases; the shrinker *reduces* them; and a reduced
+//! case prints itself as a ready-to-paste `#[test]` so a stress failure
+//! becomes a permanent regression test in one copy-paste.
+
+use egobtw_dynamic::stream::{replay_graph, EdgeOp};
+use egobtw_graph::{CsrGraph, DynGraph, VertexId};
+
+/// One concrete conformance case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Case {
+    /// Number of vertices (update streams never add vertices).
+    pub n: usize,
+    /// Initial undirected edge list (endpoints `< n`).
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// How many top entries to ask every engine for.
+    pub k: usize,
+    /// Update stream replayed before comparison (empty = static case).
+    pub ops: Vec<EdgeOp>,
+    /// Provenance for reports, e.g. `er[n=32]-k16-ops64-#12`. Not part of
+    /// the case's semantics.
+    pub label: String,
+}
+
+impl Case {
+    /// The initial graph.
+    pub fn initial(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, &self.edges)
+    }
+
+    /// The graph after replaying the update stream (mutable form).
+    pub fn final_dyn(&self) -> DynGraph {
+        replay_graph(&self.initial(), &self.ops)
+    }
+
+    /// The graph after replaying the update stream (frozen form).
+    pub fn final_graph(&self) -> CsrGraph {
+        self.final_dyn().to_csr()
+    }
+
+    /// Rough size measure used to report shrink progress.
+    pub fn weight(&self) -> usize {
+        self.n + self.edges.len() + self.ops.len()
+    }
+
+    /// Renders the case as a ready-to-paste regression test that calls
+    /// [`crate::assert_case`]. `why` lands in the test's comment.
+    pub fn to_test_code(&self, why: &str) -> String {
+        let mut s = String::new();
+        s.push_str("#[test]\n");
+        s.push_str("fn shrunk_conformance_regression() {\n");
+        for line in why.lines() {
+            s.push_str(&format!("    // {line}\n"));
+        }
+        s.push_str("    use egobtw_dynamic::stream::EdgeOp::*;\n");
+        s.push_str(&format!("    let edges = {};\n", fmt_edges(&self.edges)));
+        s.push_str(&format!("    let ops = {};\n", fmt_ops(&self.ops)));
+        s.push_str(&format!(
+            "    conformance::assert_case({}, &edges, {}, &ops);\n",
+            self.n, self.k
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn fmt_edges(edges: &[(VertexId, VertexId)]) -> String {
+    let body: Vec<String> = edges.iter().map(|&(u, v)| format!("({u}, {v})")).collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn fmt_ops(ops: &[EdgeOp]) -> String {
+    let body: Vec<String> = ops
+        .iter()
+        .map(|op| match op {
+            EdgeOp::Insert(u, v) => format!("Insert({u}, {v})"),
+            EdgeOp::Delete(u, v) => format!("Delete({u}, {v})"),
+        })
+        .collect();
+    format!("[{}]", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_graph_replays_ops() {
+        let case = Case {
+            n: 4,
+            edges: vec![(0, 1), (1, 2)],
+            k: 2,
+            ops: vec![EdgeOp::Insert(2, 3), EdgeOp::Delete(0, 1)],
+            label: "test".into(),
+        };
+        let g = case.final_graph();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(case.weight(), 4 + 2 + 2);
+    }
+
+    #[test]
+    fn test_code_is_complete() {
+        let case = Case {
+            n: 3,
+            edges: vec![(0, 1)],
+            k: 1,
+            ops: vec![EdgeOp::Insert(1, 2)],
+            label: "test".into(),
+        };
+        let code = case.to_test_code("engines disagreed\non two lines");
+        assert!(code.contains("fn shrunk_conformance_regression()"));
+        assert!(code.contains("// engines disagreed"));
+        assert!(code.contains("// on two lines"));
+        assert!(code.contains("let edges = [(0, 1)];"));
+        assert!(code.contains("let ops = [Insert(1, 2)];"));
+        assert!(code.contains("conformance::assert_case(3, &edges, 1, &ops);"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic scenario generation: every `gen` model × k-sweep ×
+//! optional seeded update stream.
+//!
+//! `scenario(seed, idx)` is a pure function — the stress binary, the CI
+//! job, and a developer reproducing a failure all see the identical case
+//! for the same `(seed, idx)`. Families rotate with `idx` so any prefix
+//! of the index space covers all of them; the k-sweep rotates on a
+//! coprime stride so every family meets every k regime; every second
+//! scenario carries an insert/delete stream (which is how the dynamic
+//! maintainers and the replay path get exercised at all).
+//!
+//! Graphs are deliberately small (n ≤ ~64): the reference truth is cubic
+//! per vertex, divergence on big graphs virtually always reproduces on
+//! small ones, and small cases shrink into readable regression tests.
+
+use crate::case::Case;
+use egobtw_dynamic::stream::EdgeOp;
+use egobtw_gen::community::PlantedPartition;
+use egobtw_gen::rmat::RmatParams;
+use egobtw_gen::sample::{edge_sample, vertex_sample};
+use egobtw_gen::{
+    barabasi_albert, classic, gnm, gnp, planted_partition, rmat, toy, watts_strogatz,
+};
+use egobtw_graph::{CsrGraph, DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator families the sweep rotates through.
+pub const FAMILIES: [&str; 8] = [
+    "er",
+    "ba",
+    "ws",
+    "rmat",
+    "community",
+    "classic",
+    "toy",
+    "sample",
+];
+
+/// The k regimes of the sweep, as functions of the vertex count:
+/// degenerate (0), minimal (1), half, all, and over-subscribed (n+5).
+pub fn k_sweep(n: usize) -> [usize; 5] {
+    [0, 1, n / 2, n, n + 5]
+}
+
+fn rng_for(seed: u64, idx: usize) -> StdRng {
+    // SplitMix64-style index whitening so nearby indices decorrelate.
+    let mut z = (idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(seed ^ z ^ (z >> 31))
+}
+
+fn graph_for(family: &str, rng: &mut StdRng) -> CsrGraph {
+    match family {
+        "er" => {
+            let n = rng.random_range(8..48);
+            if rng.random_bool(0.5) {
+                gnp(
+                    n,
+                    rng.random_range(0.05..0.3),
+                    rng.random_range(0..u64::MAX),
+                )
+            } else {
+                let pairs = n * (n - 1) / 2;
+                gnm(n, rng.random_range(0..pairs), rng.random_range(0..u64::MAX))
+            }
+        }
+        "ba" => {
+            let m_attach = rng.random_range(1..4);
+            let n = rng.random_range(m_attach + 2..48);
+            barabasi_albert(n, m_attach, rng.random_range(0..u64::MAX))
+        }
+        "ws" => {
+            let k = 2 * rng.random_range(1..4);
+            let n = rng.random_range(k + 1..48);
+            watts_strogatz(
+                n,
+                k,
+                rng.random_range(0.0..0.4),
+                rng.random_range(0..u64::MAX),
+            )
+        }
+        "rmat" => rmat(
+            rng.random_range(3..6),
+            rng.random_range(1..4),
+            RmatParams::skewed(),
+            rng.random_range(0..u64::MAX),
+        ),
+        "community" => planted_partition(
+            PlantedPartition {
+                communities: rng.random_range(2..5),
+                community_size: rng.random_range(4..9),
+                p_in: rng.random_range(0.4..0.9),
+                cross_edges_per_vertex: rng.random_range(0.3..1.5),
+            },
+            rng.random_range(0..u64::MAX),
+        ),
+        "classic" => match rng.random_range(0..6u32) {
+            0 => classic::complete(rng.random_range(2..10)),
+            1 => classic::star(rng.random_range(1..24)),
+            2 => classic::path(rng.random_range(1..24)),
+            3 => classic::cycle(rng.random_range(3..24)),
+            4 => classic::barbell(rng.random_range(3..8)),
+            _ => classic::karate_club(),
+        },
+        "toy" => toy::paper_graph(),
+        "sample" => {
+            let base = gnm(36, 150, rng.random_range(0..u64::MAX));
+            let frac = rng.random_range(0.2..0.9);
+            let sub_seed = rng.random_range(0..u64::MAX);
+            if rng.random_bool(0.5) {
+                edge_sample(&base, frac, sub_seed)
+            } else {
+                vertex_sample(&base, frac, sub_seed).0
+            }
+        }
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// Generates a seeded insert/delete stream of `len` ops against a replica
+/// of `g0`, flipping present edges off and absent edges on so roughly
+/// every op actually applies.
+pub fn random_stream(g0: &CsrGraph, len: usize, rng: &mut StdRng) -> Vec<EdgeOp> {
+    let n = g0.n();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut replica = DynGraph::from_csr(g0);
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let u = rng.random_range(0..n as VertexId);
+        let v = rng.random_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let op = if replica.has_edge(u, v) {
+            replica.remove_edge(u, v);
+            EdgeOp::Delete(u, v)
+        } else {
+            replica.insert_edge(u, v);
+            EdgeOp::Insert(u, v)
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// The `idx`-th scenario of the sweep keyed by `seed`, as a concrete case.
+pub fn scenario(seed: u64, idx: usize) -> Case {
+    let family = FAMILIES[idx % FAMILIES.len()];
+    let mut rng = rng_for(seed, idx);
+    let g = graph_for(family, &mut rng);
+    let n = g.n();
+    // Stride 1 over a 5-long sweep per family block; 8 and 5 are coprime,
+    // so every (family, k-regime) pair appears within 40 indices.
+    let k = k_sweep(n)[(idx / FAMILIES.len()) % 5];
+    let ops = if idx.is_multiple_of(2) && n >= 2 {
+        let len = rng.random_range(n..2 * n + 1);
+        random_stream(&g, len, &mut rng)
+    } else {
+        Vec::new()
+    };
+    Case {
+        n,
+        edges: g.edges().collect(),
+        k,
+        label: format!("{family}[n={n},m={}]-k{k}-ops{}-#{idx}", g.m(), ops.len()),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_index() {
+        for idx in [0usize, 3, 17, 40] {
+            assert_eq!(scenario(42, idx), scenario(42, idx), "idx {idx}");
+        }
+        assert_ne!(scenario(42, 0).edges, scenario(43, 0).edges);
+    }
+
+    #[test]
+    fn prefix_covers_all_families_and_k_regimes() {
+        let mut fams = std::collections::BTreeSet::new();
+        let mut k_classes = std::collections::BTreeSet::new();
+        let mut with_ops = 0usize;
+        for idx in 0..40 {
+            let c = scenario(7, idx);
+            fams.insert(FAMILIES[idx % FAMILIES.len()]);
+            k_classes.insert((idx / FAMILIES.len()) % 5);
+            with_ops += usize::from(!c.ops.is_empty());
+            assert!(c.initial().validate().is_ok());
+        }
+        assert_eq!(fams.len(), FAMILIES.len());
+        assert_eq!(k_classes.len(), 5);
+        assert!(with_ops >= 15, "streams too rare: {with_ops}/40");
+    }
+
+    #[test]
+    fn streams_target_valid_endpoints() {
+        for idx in 0..24 {
+            let c = scenario(9, idx);
+            for op in &c.ops {
+                let (u, v) = op.endpoints();
+                assert!(u != v);
+                assert!((u as usize) < c.n && (v as usize) < c.n);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Greedy case shrinking: turn a failing scenario into the smallest case
+//! that still fails.
+//!
+//! Delta-debugging style, specialised to this domain. Each round tries,
+//! in order: dropping chunks of the update stream (halves down to single
+//! ops), dropping chunks of the edge list, shrinking `k`, and removing
+//! whole vertices (relabeling the survivors densely). A candidate is kept
+//! iff the predicate still fails on it; rounds repeat until a fixpoint or
+//! the round budget runs out. Because update-stream replay skips
+//! inapplicable ops by definition, every subset of a stream is still a
+//! meaningful stream — the property that makes this simple greedy loop
+//! sound.
+
+use crate::case::Case;
+use egobtw_dynamic::stream::EdgeOp;
+use egobtw_graph::VertexId;
+
+/// Shrinks `case` under `fails` (true = still failing). `max_rounds`
+/// bounds the number of full passes; the result is the smallest failing
+/// case found, at worst `case` itself.
+pub fn shrink(case: &Case, fails: &dyn Fn(&Case) -> bool, max_rounds: usize) -> Case {
+    debug_assert!(fails(case), "shrinking a passing case");
+    let mut best = case.clone();
+    for _ in 0..max_rounds {
+        let before = best.weight();
+        shrink_ops(&mut best, fails);
+        shrink_edges(&mut best, fails);
+        shrink_k(&mut best, fails);
+        shrink_vertices(&mut best, fails);
+        if best.weight() >= before {
+            break; // fixpoint
+        }
+    }
+    best
+}
+
+/// Tries removing chunks (halving sizes) of one sequence dimension.
+/// `apply(case, lo, hi)` must return the case without elements `lo..hi`.
+fn shrink_sequence(
+    best: &mut Case,
+    len_of: fn(&Case) -> usize,
+    drop_range: fn(&Case, usize, usize) -> Case,
+    fails: &dyn Fn(&Case) -> bool,
+) {
+    let mut chunk = len_of(best).div_ceil(2).max(1);
+    loop {
+        let mut lo = 0;
+        while lo < len_of(best) {
+            let hi = (lo + chunk).min(len_of(best));
+            let candidate = drop_range(best, lo, hi);
+            if fails(&candidate) {
+                *best = candidate; // keep the cut; retry same offset
+            } else {
+                lo = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2).max(1);
+    }
+}
+
+fn shrink_ops(best: &mut Case, fails: &dyn Fn(&Case) -> bool) {
+    shrink_sequence(
+        best,
+        |c| c.ops.len(),
+        |c, lo, hi| {
+            let mut n = c.clone();
+            n.ops.drain(lo..hi);
+            n
+        },
+        fails,
+    );
+}
+
+fn shrink_edges(best: &mut Case, fails: &dyn Fn(&Case) -> bool) {
+    shrink_sequence(
+        best,
+        |c| c.edges.len(),
+        |c, lo, hi| {
+            let mut n = c.clone();
+            n.edges.drain(lo..hi);
+            n
+        },
+        fails,
+    );
+}
+
+fn shrink_k(best: &mut Case, fails: &dyn Fn(&Case) -> bool) {
+    for candidate_k in [0, 1, best.k / 2, best.k.saturating_sub(1)] {
+        if candidate_k >= best.k {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.k = candidate_k;
+        if fails(&candidate) {
+            *best = candidate;
+        }
+    }
+}
+
+/// Case without vertex `v`: incident edges and ops dropped, ids above `v`
+/// shifted down.
+fn without_vertex(c: &Case, v: VertexId) -> Case {
+    let relabel = |x: VertexId| if x > v { x - 1 } else { x };
+    let mut n = c.clone();
+    n.n -= 1;
+    n.edges = c
+        .edges
+        .iter()
+        .filter(|&&(a, b)| a != v && b != v)
+        .map(|&(a, b)| (relabel(a), relabel(b)))
+        .collect();
+    n.ops = c
+        .ops
+        .iter()
+        .filter(|op| {
+            let (a, b) = op.endpoints();
+            a != v && b != v
+        })
+        .map(|op| match *op {
+            EdgeOp::Insert(a, b) => EdgeOp::Insert(relabel(a), relabel(b)),
+            EdgeOp::Delete(a, b) => EdgeOp::Delete(relabel(a), relabel(b)),
+        })
+        .collect();
+    n
+}
+
+fn shrink_vertices(best: &mut Case, fails: &dyn Fn(&Case) -> bool) {
+    // Highest ids first: removing them never relabels lower survivors.
+    let mut v = best.n;
+    while v > 0 {
+        v -= 1;
+        if best.n <= 1 {
+            break;
+        }
+        let candidate = without_vertex(best, v as VertexId);
+        if fails(&candidate) {
+            *best = candidate;
+        }
+        v = v.min(best.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(n: usize, edges: &[(VertexId, VertexId)], k: usize, ops: &[EdgeOp]) -> Case {
+        Case {
+            n,
+            edges: edges.to_vec(),
+            k,
+            ops: ops.to_vec(),
+            label: "unit".into(),
+        }
+    }
+
+    /// A synthetic defect: "fails whenever edge (0,1) is present in the
+    /// final graph". The minimal failing case is 2 vertices, 1 edge.
+    fn edge01_fails(c: &Case) -> bool {
+        c.n >= 2 && c.final_graph().has_edge(0, 1)
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_witness() {
+        let big = case(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (0, 7),
+            ],
+            5,
+            &[EdgeOp::Insert(2, 5), EdgeOp::Delete(3, 4)],
+        );
+        assert!(edge01_fails(&big));
+        let small = shrink(&big, &edge01_fails, 10);
+        assert!(edge01_fails(&small));
+        assert_eq!(small.n, 2);
+        assert_eq!(small.edges, vec![(0, 1)]);
+        assert!(small.ops.is_empty());
+        assert_eq!(small.k, 0);
+    }
+
+    #[test]
+    fn shrinks_stream_dependent_failures() {
+        // Fails when the stream leaves ≥ 1 edge on vertex 0.
+        let pred = |c: &Case| c.n >= 1 && c.final_graph().degree(0) >= 1;
+        let big = case(
+            6,
+            &[],
+            3,
+            &[
+                EdgeOp::Insert(1, 2),
+                EdgeOp::Insert(0, 3),
+                EdgeOp::Insert(4, 5),
+                EdgeOp::Delete(1, 2),
+            ],
+        );
+        assert!(pred(&big));
+        let small = shrink(&big, &pred, 10);
+        assert!(pred(&small));
+        assert_eq!(small.n, 2, "one surviving edge needs two vertices");
+        assert_eq!(small.ops.len(), 1);
+        assert!(small.edges.is_empty());
+    }
+
+    #[test]
+    fn without_vertex_relabels_consistently() {
+        let c = case(
+            4,
+            &[(0, 2), (2, 3), (1, 3)],
+            2,
+            &[EdgeOp::Insert(1, 2), EdgeOp::Delete(2, 3)],
+        );
+        let r = without_vertex(&c, 2);
+        assert_eq!(r.n, 3);
+        assert_eq!(r.edges, vec![(1, 2)]); // old (1,3) survives relabeled
+        assert!(r.ops.is_empty(), "both ops touched vertex 2");
+    }
+
+    #[test]
+    fn already_minimal_case_is_stable() {
+        let minimal = case(2, &[(0, 1)], 0, &[]);
+        let small = shrink(&minimal, &edge01_fails, 10);
+        assert_eq!(small, minimal);
+    }
+}

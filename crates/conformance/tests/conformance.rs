@@ -1,0 +1,87 @@
+//! Integration tests: a bounded green sweep, and proof that the harness
+//! actually catches and shrinks a broken engine (mutation testing the
+//! tester). The CI `conformance` job runs the much larger release-mode
+//! sweep; this keeps a fast slice of it inside plain `cargo test`.
+
+use conformance::{
+    all_oracles, check_case_with, scenario, shrink, Case, FaultyOracle, Mutation, Oracle,
+};
+use egobtw_dynamic::stream::EdgeOp;
+
+/// 24 scenarios = 3 full family rotations, with all oracles. Debug builds
+/// also exercise every `debug_assert` in the graph layer on the way.
+#[test]
+fn bounded_sweep_is_green() {
+    let oracles = all_oracles();
+    for idx in 0..24 {
+        let case = scenario(42, idx);
+        if let Err(m) = check_case_with(&case, &oracles) {
+            panic!("scenario {} diverged: {m}", case.label);
+        }
+    }
+}
+
+/// A second seed, so the fixed CI seed can't ossify into the only path
+/// that works.
+#[test]
+fn bounded_sweep_is_green_on_another_seed() {
+    let oracles = all_oracles();
+    for idx in 0..16 {
+        let case = scenario(20260729, idx);
+        if let Err(m) = check_case_with(&case, &oracles) {
+            panic!("scenario {} diverged: {m}", case.label);
+        }
+    }
+}
+
+/// Every mutation kind must be detected within a small scenario budget,
+/// and the shrunk witness must (a) still fail and (b) be small.
+#[test]
+fn mutants_are_caught_and_shrunk() {
+    for kind in [Mutation::TieDrop, Mutation::Bias, Mutation::StaleGraph] {
+        let mut oracles: Vec<Box<dyn Oracle>> = vec![Box::new(FaultyOracle(kind))];
+        oracles.extend(all_oracles().into_iter().take(1)); // plus one honest engine
+        let failing = (0..40)
+            .map(|idx| scenario(42, idx))
+            .find(|case| check_case_with(case, &oracles).is_err())
+            .unwrap_or_else(|| panic!("{kind:?} survived 40 scenarios"));
+        let fails = |c: &Case| check_case_with(c, &oracles).is_err();
+        let minimal = shrink(&failing, &fails, 8);
+        assert!(fails(&minimal), "{kind:?}: shrunk case no longer fails");
+        assert!(
+            minimal.weight() <= failing.weight(),
+            "{kind:?}: shrinking grew the case"
+        );
+        assert!(
+            minimal.n <= 6 && minimal.edges.len() <= 6 && minimal.ops.len() <= 2,
+            "{kind:?}: weak shrink: n={} edges={} ops={}",
+            minimal.n,
+            minimal.edges.len(),
+            minimal.ops.len()
+        );
+        // The printed regression test mentions the entry point verbatim.
+        let code = minimal.to_test_code("mutation test");
+        assert!(code.contains("conformance::assert_case("));
+    }
+}
+
+/// Tie classes spanning the k boundary, checked across the *full* oracle
+/// set (the core-only variant of this lives in `egobtw-core`'s own test
+/// suite; here the parallel and dynamic engines face the same ties).
+#[test]
+fn tie_boundary_agreement_across_all_oracles() {
+    // One big star (hub CB = 21) + four tied medium stars (hub CB = 10):
+    // ranks 1..5 share a score, so k = 2, 3, 4 all cut through the tie.
+    let mut edges: Vec<(u32, u32)> = (1..8).map(|v| (0, v)).collect();
+    let mut base = 8u32;
+    for _ in 0..4 {
+        edges.extend((1..6).map(|v| (base, base + v)));
+        base += 6;
+    }
+    let n = base as usize;
+    for k in [2usize, 3, 4, 5] {
+        conformance::assert_case(n, &edges, k, &[]);
+    }
+    // Same graph under a stream that breaks one tie mid-class.
+    conformance::assert_case(n, &edges, 3, &[EdgeOp::Delete(8, 9), EdgeOp::Insert(9, 10)]);
+}

@@ -25,8 +25,10 @@ pub fn compute_all(g: &CsrGraph) -> (Vec<f64>, SearchStats) {
     let mut stats = SearchStats::default();
     let edges = EdgeSet::from_graph(g);
     process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
+    // Deterministic finalize: makes the output bit-identical to the
+    // parallel PEBW engines, which build the same maps in another order.
     let cb = (0..g.n() as VertexId)
-        .map(|v| store.map(v).cb_given_degree(g.degree(v)))
+        .map(|v| store.map(v).cb_given_degree_det(g.degree(v)))
         .collect();
     stats.exact_computations = g.n();
     (cb, stats)

@@ -27,6 +27,9 @@
 //!   edge-centric pass (the `k = n` baseline, and the kernel that the
 //!   parallel crate distributes);
 //! * [`topk`] — ordered-float utilities and the bounded top-k set;
+//! * [`registry`] — the enumerable engine registry: every top-k path in
+//!   this crate under a stable name and a uniform signature, so harnesses
+//!   discover engines instead of hand-listing them;
 //! * [`stats`] — instrumentation counters (exact computations per search —
 //!   Table II of the paper — plus triangle/diamond work).
 //!
@@ -51,6 +54,7 @@ pub mod compute_all;
 pub mod engine;
 pub mod naive;
 pub mod opt_search;
+pub mod registry;
 pub mod smap;
 pub mod stats;
 pub mod topk;
@@ -60,5 +64,6 @@ pub use compute_all::compute_all;
 pub use engine::Engine;
 pub use naive::{compute_all_naive, ego_betweenness_of, EgoView};
 pub use opt_search::{opt_bsearch, OptParams};
+pub use registry::{builtin_engines, topk_from_scores, RegisteredEngine};
 pub use stats::SearchStats;
 pub use topk::{TopKSet, TopkResult};

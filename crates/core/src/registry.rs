@@ -1,0 +1,145 @@
+//! Enumerable registry of top-k engines.
+//!
+//! Every way this crate can answer "give me the top-k ego-betweenness
+//! vertices" is registered here under a stable name, behind one uniform
+//! closure signature. Harnesses (the `conformance` crate's differential
+//! oracle layer, benchmark drivers, CLIs) *discover* engines by iterating
+//! [`builtin_engines`] instead of hand-listing call sites — so a newly
+//! added algorithm is cross-checked the moment it registers itself, and a
+//! forgotten registration is a one-line fix rather than a silent coverage
+//! hole.
+//!
+//! Crates higher in the dependency graph (parallel, dynamic) cannot
+//! register here without inverting dependencies; they expose the same
+//! shape by constructing [`RegisteredEngine`] values of their own, which
+//! the conformance layer appends to this list.
+
+use crate::naive::compute_all_naive;
+use crate::opt_search::{opt_bsearch, OptParams};
+use crate::{base_bsearch, compute_all};
+use egobtw_graph::{CsrGraph, VertexId};
+
+/// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out.
+pub type EngineFn = Box<dyn Fn(&CsrGraph, usize) -> Vec<(VertexId, f64)> + Send + Sync>;
+
+/// One named engine in the registry.
+pub struct RegisteredEngine {
+    name: String,
+    run: EngineFn,
+}
+
+impl RegisteredEngine {
+    /// Wraps a closure under a stable engine name.
+    pub fn new(name: impl Into<String>, run: EngineFn) -> Self {
+        RegisteredEngine {
+            name: name.into(),
+            run,
+        }
+    }
+
+    /// The engine's stable name (used in reports and failure messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the engine: top-`k` entries sorted by descending `CB`
+    /// (ascending vertex id among exact float ties).
+    pub fn topk(&self, g: &CsrGraph, k: usize) -> Vec<(VertexId, f64)> {
+        (self.run)(g, k)
+    }
+}
+
+impl std::fmt::Debug for RegisteredEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredEngine")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Ranks a full per-vertex score vector into top-k entries, with the same
+/// ordering contract as the search engines (descending score, ascending id
+/// on exact ties). Shared by every all-vertices engine adapter.
+pub fn topk_from_scores(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+    let mut v: Vec<(VertexId, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as VertexId, s))
+        .collect();
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+/// Every engine implemented in this crate, under its stable name:
+///
+/// * `core::naive` — per-ego bitset baseline over all vertices;
+/// * `core::compute_all` — edge-centric shared-work pass over all vertices;
+/// * `core::base_search` — BaseBSearch (Algorithm 1);
+/// * `core::opt_search(θ=…)` — OptBSearch (Algorithm 2) at three gradient
+///   ratios, since θ must never change answers.
+pub fn builtin_engines() -> Vec<RegisteredEngine> {
+    let mut engines = vec![
+        RegisteredEngine::new(
+            "core::naive",
+            Box::new(|g: &CsrGraph, k| topk_from_scores(&compute_all_naive(g), k)) as EngineFn,
+        ),
+        RegisteredEngine::new(
+            "core::compute_all",
+            Box::new(|g: &CsrGraph, k| topk_from_scores(&compute_all(g).0, k)) as EngineFn,
+        ),
+        RegisteredEngine::new(
+            "core::base_search",
+            Box::new(|g: &CsrGraph, k| base_bsearch(g, k).entries) as EngineFn,
+        ),
+    ];
+    for theta in [1.0, 1.05, 2.0] {
+        engines.push(RegisteredEngine::new(
+            format!("core::opt_search(θ={theta:.2})"),
+            Box::new(move |g: &CsrGraph, k| opt_bsearch(g, k, OptParams { theta }).entries)
+                as EngineFn,
+        ));
+    }
+    engines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_gen::classic;
+
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let engines = builtin_engines();
+        let mut names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert!(names.iter().all(|n| n.starts_with("core::")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), engines.len(), "duplicate engine name");
+    }
+
+    #[test]
+    fn every_builtin_agrees_on_karate_top5() {
+        let g = classic::karate_club();
+        let reference = topk_from_scores(&compute_all_naive(&g), 5);
+        for e in builtin_engines() {
+            let got = e.topk(&g, 5);
+            assert_eq!(got.len(), 5, "{}", e.name());
+            for (rank, ((_, a), (_, b))) in got.iter().zip(&reference).enumerate() {
+                assert!((a - b).abs() < 1e-9, "{} rank {rank}: {a} vs {b}", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn topk_from_scores_ties_prefer_small_ids() {
+        let out = topk_from_scores(&[1.0, 3.0, 3.0, 0.5], 3);
+        assert_eq!(out, vec![(1, 3.0), (2, 3.0), (0, 1.0)]);
+    }
+
+    #[test]
+    fn topk_from_scores_truncates_and_handles_k_over_n() {
+        assert_eq!(topk_from_scores(&[2.0, 1.0], 0), vec![]);
+        assert_eq!(topk_from_scores(&[2.0, 1.0], 5).len(), 2);
+    }
+}

@@ -105,6 +105,27 @@ impl PairMap {
         cb
     }
 
+    /// Deterministic variant of [`PairMap::cb_given_degree`]: entries are
+    /// summed in sorted key order, so two maps with equal *content* yield
+    /// bit-identical values no matter what order the content was built in.
+    ///
+    /// The full-computation paths (sequential `compute_all` and the
+    /// parallel PEBW finalizers) use this, making their outputs exactly
+    /// comparable (`==`, not epsilon-compare) across thread counts and
+    /// work schedules. The hot search paths keep the hash-order variant:
+    /// bounds only need to be *valid*, not bit-stable, and the sort would
+    /// cost `O(d² log d)` per refresh.
+    pub fn cb_given_degree_det(&self, degree: usize) -> f64 {
+        let mut entries: Vec<(u64, u32)> = self.entries().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let d = degree as f64;
+        let mut cb = d * (d - 1.0) / 2.0;
+        for (_, val) in entries {
+            cb -= 1.0 - entry_contribution(val);
+        }
+        cb
+    }
+
     // ----- mutation helpers used by the dynamic-maintenance crate -----
 
     /// Inserts or overwrites the raw value for a pair (dynamic updates
@@ -225,6 +246,26 @@ mod tests {
         prev = b2;
         m.set_edge(2, 3);
         assert!(m.cb_given_degree(d) < prev);
+    }
+
+    #[test]
+    fn det_variant_agrees_and_is_order_independent() {
+        // Two maps with identical content built in opposite orders.
+        let mut a = PairMap::default();
+        let mut b = PairMap::default();
+        let pairs: [(VertexId, VertexId); 4] = [(0, 1), (2, 3), (4, 5), (6, 7)];
+        for &(i, j) in &pairs {
+            a.add_connector(i, j);
+        }
+        for &(i, j) in pairs.iter().rev() {
+            b.add_connector(i, j);
+        }
+        a.set_edge(8, 9);
+        b.set_edge(8, 9);
+        let (da, db) = (a.cb_given_degree_det(6), b.cb_given_degree_det(6));
+        assert_eq!(da, db, "bit-identical across construction orders");
+        // Same value (up to association) as the hash-order variant.
+        assert!((da - a.cb_given_degree(6)).abs() < 1e-12);
     }
 
     #[test]

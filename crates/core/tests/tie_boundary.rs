@@ -1,0 +1,131 @@
+//! Tie-boundary conformance for every core engine.
+//!
+//! Graphs engineered so ranks `k−1`, `k`, `k+1` share a score. Any subset
+//! of the tied class is a valid boundary fill, so engines may disagree on
+//! *vertices* — but they must agree exactly on the returned score
+//! multiset, and every returned vertex must carry its true score. This is
+//! the contract `TopKSet`'s deterministic tie-break makes easy to get
+//! wrong in subtle ways (e.g. truncating the tie class, or returning the
+//! k-th score from a stale heap entry).
+
+use egobtw_core::registry::{builtin_engines, topk_from_scores};
+use egobtw_core::{compute_all_naive, TopKSet};
+use egobtw_graph::{CsrGraph, VertexId};
+
+/// Disjoint union: one big star (hub scores 21) and `copies` tied medium
+/// stars (hubs score 10 each), so the tie class sits just below rank 0.
+fn tied_stars(copies: usize) -> CsrGraph {
+    let mut edges: Vec<(VertexId, VertexId)> = (1..8).map(|v| (0, v)).collect();
+    let mut base = 8u32;
+    for _ in 0..copies {
+        edges.extend((1..6).map(|v| (base, base + v)));
+        base += 6;
+    }
+    CsrGraph::from_edges(base as usize, &edges)
+}
+
+/// Asserts `got` is a valid tie-aware top-k of `truth`: right length,
+/// honest per-vertex scores, and the exact score multiset of the k best.
+fn assert_tie_aware_topk(truth: &[f64], got: &[(VertexId, f64)], k: usize, ctx: &str) {
+    assert_eq!(got.len(), k.min(truth.len()), "{ctx}: length");
+    let mut sorted = truth.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let mut seen = vec![false; truth.len()];
+    for (rank, &(v, s)) in got.iter().enumerate() {
+        assert!(!seen[v as usize], "{ctx}: vertex {v} twice");
+        seen[v as usize] = true;
+        assert!(
+            (s - truth[v as usize]).abs() < 1e-9,
+            "{ctx}: vertex {v} reported {s}, truth {}",
+            truth[v as usize]
+        );
+        assert!(
+            (s - sorted[rank]).abs() < 1e-9,
+            "{ctx}: rank {rank} score {s}, oracle {}",
+            sorted[rank]
+        );
+    }
+}
+
+#[test]
+fn stars_tie_across_the_boundary() {
+    // 4 tied hubs at ranks 1..5: k = 2, 3, 4 all split the tie class, so
+    // ranks k−1, k, k+1 share the score 10 for k ∈ {2, 3, 4}.
+    let g = tied_stars(4);
+    let truth = compute_all_naive(&g);
+    for k in [1usize, 2, 3, 4, 5, 6] {
+        for engine in builtin_engines() {
+            let got = engine.topk(&g, k);
+            assert_tie_aware_topk(&truth, &got, k, &format!("{} k={k}", engine.name()));
+        }
+    }
+}
+
+#[test]
+fn path_interior_is_one_giant_tie_class() {
+    // P_12: ten interior vertices all score exactly 1.0; every k from 1
+    // to 10 cuts through the same tie class.
+    let g = egobtw_gen::classic::path(12);
+    let truth = compute_all_naive(&g);
+    for k in 1..=12usize {
+        for engine in builtin_engines() {
+            let got = engine.topk(&g, k);
+            assert_tie_aware_topk(&truth, &got, k, &format!("{} k={k}", engine.name()));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_the_score_multiset_at_every_cut() {
+    // Cross-engine agreement without consulting truth: sorted score lists
+    // must match pairwise to the last bit of tolerance.
+    let g = tied_stars(3);
+    for k in [2usize, 3, 4] {
+        let engines = builtin_engines();
+        let reference: Vec<f64> = engines[0].topk(&g, k).iter().map(|e| e.1).collect();
+        for engine in &engines[1..] {
+            let scores: Vec<f64> = engine.topk(&g, k).iter().map(|e| e.1).collect();
+            assert_eq!(scores.len(), reference.len());
+            for (a, b) in scores.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{} vs {} at k={k}: {a} vs {b}",
+                    engine.name(),
+                    engines[0].name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn topkset_keeps_ties_deterministically_under_eviction_storm() {
+    // Offer a long run of equal scores: the set must keep exactly k, all
+    // with that score, preferring small ids (documented tie-break).
+    let mut t = TopKSet::new(3);
+    for v in (0..100u32).rev() {
+        t.offer(v, 7.0);
+    }
+    let out = t.into_sorted_vec();
+    assert_eq!(out, vec![(0, 7.0), (1, 7.0), (2, 7.0)]);
+    // And mixing a strictly better entry still evicts only tied ones.
+    let mut t = TopKSet::new(3);
+    for v in 0..50u32 {
+        t.offer(v, 7.0);
+    }
+    assert!(t.offer(99, 8.0));
+    let out = t.into_sorted_vec();
+    assert_eq!(out[0], (99, 8.0));
+    assert!(out[1..].iter().all(|&(_, s)| s == 7.0));
+}
+
+#[test]
+fn topk_from_scores_boundary_is_prefix_of_tie_class() {
+    // The registry ranking helper must cut tie classes by ascending id.
+    let scores = [3.0, 5.0, 3.0, 3.0, 5.0];
+    assert_eq!(
+        topk_from_scores(&scores, 3),
+        vec![(1, 5.0), (4, 5.0), (0, 3.0)]
+    );
+    assert_eq!(topk_from_scores(&scores, 4)[3], (2, 3.0));
+}

@@ -17,9 +17,15 @@
 //!
 //! Both are verified against from-scratch recomputation after every
 //! update in the property-test suites.
+//!
+//! [`stream`] gives updates a first-class data form ([`EdgeOp`]) with
+//! replay constructors on both maintainers, so the conformance harness
+//! can treat "maintainer fed a stream" as just another engine.
 
 pub mod lazy;
 pub mod local;
+pub mod stream;
 
 pub use lazy::LazyTopK;
 pub use local::LocalIndex;
+pub use stream::{replay_graph, EdgeOp};

@@ -43,8 +43,10 @@ impl LocalIndex {
         let mut stats = egobtw_core::stats::SearchStats::default();
         let edges = egobtw_graph::EdgeSet::from_graph(g);
         egobtw_core::compute_all::process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
+        // Deterministic finalize, so the starting values are bit-identical
+        // to `compute_all` (and hence to a fresh `LazyTopK`).
         let cb = (0..g.n() as VertexId)
-            .map(|v| store.map(v).cb_given_degree(g.degree(v)))
+            .map(|v| store.map(v).cb_given_degree_det(g.degree(v)))
             .collect();
         LocalIndex {
             g: DynGraph::from_csr(g),

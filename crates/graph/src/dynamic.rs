@@ -142,6 +142,41 @@ impl DynGraph {
             .collect()
     }
 
+    /// Exhaustively checks the structural invariants the maintenance
+    /// algorithms rely on: no self-loops, in-range endpoints, symmetric
+    /// adjacency sets, and an edge counter consistent with the degrees.
+    ///
+    /// Returns a description of the first violation. The conformance
+    /// harness runs this after every replayed update stream. Cost `O(m)`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        let mut degree_sum = 0usize;
+        for (u, ns) in self.adj.iter().enumerate() {
+            degree_sum += ns.len();
+            for &v in ns {
+                if v as usize >= n {
+                    return Err(format!("neighbor {v} of {u} out of range (n={n})"));
+                }
+                if v as usize == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if !self.adj[v as usize].contains(&(u as VertexId)) {
+                    return Err(format!("asymmetric edge: {v} ∈ N({u}) but {u} ∉ N({v})"));
+                }
+            }
+        }
+        if !degree_sum.is_multiple_of(2) {
+            return Err(format!("odd total degree {degree_sum}"));
+        }
+        if degree_sum / 2 != self.m {
+            return Err(format!(
+                "edge counter {} disagrees with degrees ({} / 2)",
+                self.m, degree_sum
+            ));
+        }
+        Ok(())
+    }
+
     /// `|N(u) ∩ N(v)|`.
     pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
         let (a, b) = if self.degree(u) <= self.degree(v) {
@@ -220,6 +255,26 @@ mod tests {
         assert_eq!(v, 1);
         assert!(g.insert_edge(0, 1));
         assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn validate_tracks_mutations() {
+        let mut g = DynGraph::new(5);
+        assert_eq!(g.validate(), Ok(()));
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(3, 4);
+        assert_eq!(g.validate(), Ok(()));
+        g.remove_edge(1, 2);
+        g.isolate_vertex(0);
+        assert_eq!(g.validate(), Ok(()));
+        // Corrupt it: one-sided edge plus a stale counter.
+        g.adj[2].insert(4);
+        assert!(g.validate().unwrap_err().contains("asymmetric"));
+        g.adj[4].insert(2);
+        assert!(g.validate().unwrap_err().contains("edge counter"));
+        g.m += 1;
+        assert_eq!(g.validate(), Ok(()));
     }
 
     #[test]

@@ -177,4 +177,68 @@ mod tests {
         let (g, _) = read_edge_list("0 1\n1 0\n0 1\n".as_bytes()).unwrap();
         assert_eq!(g.m(), 1);
     }
+
+    #[test]
+    fn self_loop_lines_are_dropped_but_vertices_kept() {
+        // SNAP dumps occasionally contain `v v` lines; the edge must be
+        // dropped while the vertex id stays interned (so downstream
+        // degree/label arrays line up with the file).
+        let (g, labels) = read_edge_list("7 7\n7 8\n9 9\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 1, "only (7,8) survives");
+        assert_eq!(labels, vec![7, 8, 9], "self-loop-only vertex 9 interned");
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.degree(2), 0, "vertex 9 is isolated, not absent");
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_lines_mixed_with_self_loops() {
+        let text = "1 2\n2 1\n1 1\n1 2\n# comment\n2 2\n1 2\n";
+        let (g, labels) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(labels, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        let (g, labels) = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!((g.n(), g.m()), (0, 0));
+        assert!(labels.is_empty());
+        let (g, _) = read_edge_list("# a\n% b\n\n   \n".as_bytes()).unwrap();
+        assert_eq!((g.n(), g.m()), (0, 0));
+    }
+
+    #[test]
+    fn trailing_tokens_and_mixed_whitespace_accepted() {
+        // KONECT lines may carry a weight/timestamp column; the parser
+        // reads the first two tokens and ignores the rest.
+        let (g, _) = read_edge_list("0\t1 1.5\n1   2\t\t42\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn rejects_one_token_line_with_line_number() {
+        let err = read_edge_list("0 1\n0 2\n17\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line_no, line } => {
+                assert_eq!(line_no, 3);
+                assert_eq!(line, "17");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_ids() {
+        assert!(read_edge_list("0 -1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn huge_raw_ids_relabel_densely() {
+        let (g, labels) = read_edge_list("18446744073709551615 3\n".as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(labels, vec![u64::MAX, 3]);
+    }
 }

@@ -1,0 +1,112 @@
+//! Randomized differential test for the mutable graph: after any seeded
+//! sequence of insert/delete/isolate operations, the incremental
+//! structure must equal a CSR rebuilt from scratch off an independently
+//! maintained edge mirror — edge-for-edge — and pass its own invariant
+//! check at every step.
+
+use egobtw_graph::{pack_pair, unpack_pair, CsrGraph, DynGraph, FxHashSet, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rebuilds a CSR from the mirror set and compares adjacency slices.
+fn assert_matches_mirror(dg: &DynGraph, mirror: &FxHashSet<u64>, ctx: &str) {
+    assert_eq!(dg.validate(), Ok(()), "{ctx}: DynGraph invariants");
+    let edges: Vec<(VertexId, VertexId)> = mirror.iter().map(|&k| unpack_pair(k)).collect();
+    let fresh = CsrGraph::from_edges(dg.n(), &edges);
+    assert_eq!(dg.m(), fresh.m(), "{ctx}: edge count");
+    let incremental = dg.to_csr();
+    assert_eq!(incremental.n(), fresh.n(), "{ctx}: vertex count");
+    for u in fresh.vertices() {
+        assert_eq!(
+            incremental.neighbors(u),
+            fresh.neighbors(u),
+            "{ctx}: adjacency of {u}"
+        );
+    }
+}
+
+#[test]
+fn random_streams_equal_fresh_rebuild() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xD15C0 + seed);
+        let n = 24usize;
+        let mut dg = DynGraph::new(n);
+        let mut mirror: FxHashSet<u64> = FxHashSet::default();
+        for step in 0..600 {
+            let u = rng.random_range(0..n as VertexId);
+            let v = rng.random_range(0..n as VertexId);
+            if u == v {
+                // Self-loops must be rejected without corrupting state.
+                assert!(!dg.insert_edge(u, v));
+                continue;
+            }
+            if rng.random_bool(0.55) {
+                let changed = dg.insert_edge(u, v);
+                assert_eq!(changed, mirror.insert(pack_pair(u, v)), "step {step}");
+            } else {
+                let changed = dg.remove_edge(u, v);
+                assert_eq!(changed, mirror.remove(&pack_pair(u, v)), "step {step}");
+            }
+            if step % 60 == 0 {
+                assert_matches_mirror(&dg, &mirror, &format!("seed {seed} step {step}"));
+            }
+        }
+        assert_matches_mirror(&dg, &mirror, &format!("seed {seed} final"));
+    }
+}
+
+#[test]
+fn isolate_vertex_in_random_streams() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 18usize;
+    let mut dg = DynGraph::new(n);
+    let mut mirror: FxHashSet<u64> = FxHashSet::default();
+    for step in 0..300 {
+        let u = rng.random_range(0..n as VertexId);
+        let v = rng.random_range(0..n as VertexId);
+        match rng.random_range(0..10u32) {
+            0 => {
+                // Occasionally wipe a vertex; mirror does it the slow way.
+                let removed = dg.isolate_vertex(u);
+                for &w in &removed {
+                    assert!(mirror.remove(&pack_pair(u, w)), "step {step}: ({u},{w})");
+                }
+                assert_eq!(dg.degree(u), 0);
+            }
+            1..=6 if u != v => {
+                assert_eq!(
+                    dg.insert_edge(u, v),
+                    mirror.insert(pack_pair(u, v)),
+                    "step {step}"
+                );
+            }
+            _ if u != v => {
+                assert_eq!(
+                    dg.remove_edge(u, v),
+                    mirror.remove(&pack_pair(u, v)),
+                    "step {step}"
+                );
+            }
+            _ => {}
+        }
+        if step % 30 == 0 {
+            assert_matches_mirror(&dg, &mirror, &format!("step {step}"));
+        }
+    }
+    assert_matches_mirror(&dg, &mirror, "final");
+}
+
+#[test]
+fn grown_graph_round_trips() {
+    // add_vertex mid-stream: ids must stay dense and the rebuild aligned.
+    let mut dg = DynGraph::new(2);
+    let mut mirror: FxHashSet<u64> = FxHashSet::default();
+    dg.insert_edge(0, 1);
+    mirror.insert(pack_pair(0, 1));
+    for _ in 0..5 {
+        let v = dg.add_vertex();
+        dg.insert_edge(0, v);
+        mirror.insert(pack_pair(0, v));
+    }
+    assert_matches_mirror(&dg, &mirror, "after growth");
+}
