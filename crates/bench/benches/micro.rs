@@ -3,9 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egobtw_graph::intersect::{
-    gallop_intersection_count, intersection_count, merge_intersection_count,
+    bitmap_bitmap_intersection_count, gallop_intersection_count, intersection_count,
+    intersection_count_with, merge_intersection_count, pack_bitmap,
+    slice_bitmap_intersection_count, KernelParams,
 };
-use egobtw_graph::{pack_pair, CsrGraph, EdgeSet};
+use egobtw_graph::{pack_pair, CsrGraph, EdgeSet, HybridConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +37,85 @@ fn bench_intersection(c: &mut Criterion) {
             bench.iter(|| intersection_count(&a, &b))
         });
     }
+    group.finish();
+}
+
+/// The hybrid kernels against the slice kernels, on hub-shaped inputs: a
+/// short probe set vs. a dense hub row over a 2²⁰ universe (slice×bitmap),
+/// and two hub rows (bitmap×bitmap AND+popcount).
+fn bench_bitmap_kernels(c: &mut Criterion) {
+    let universe = 1u32 << 20;
+    let words = (universe as usize).div_ceil(64);
+    let hub_a = sorted_random(20_000, universe, 11);
+    let hub_b = sorted_random(16_000, universe, 12);
+    let row_a = pack_bitmap(&hub_a, words);
+    let row_b = pack_bitmap(&hub_b, words);
+    let mut group = c.benchmark_group("intersection_bitmap");
+    for probe_len in [8usize, 64, 1_024] {
+        let probe = sorted_random(probe_len, universe, 13);
+        let id = format!("{probe_len}x{}", hub_a.len());
+        group.bench_with_input(BenchmarkId::new("merge", &id), &(), |bench, _| {
+            bench.iter(|| merge_intersection_count(&probe, &hub_a))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", &id), &(), |bench, _| {
+            bench.iter(|| gallop_intersection_count(&probe, &hub_a))
+        });
+        group.bench_with_input(BenchmarkId::new("slice_bitmap", &id), &(), |bench, _| {
+            bench.iter(|| slice_bitmap_intersection_count(&probe, &row_a))
+        });
+    }
+    let id = format!("{}x{}", hub_a.len(), hub_b.len());
+    group.bench_with_input(BenchmarkId::new("merge", &id), &(), |bench, _| {
+        bench.iter(|| merge_intersection_count(&hub_a, &hub_b))
+    });
+    group.bench_with_input(BenchmarkId::new("bitmap_bitmap", &id), &(), |bench, _| {
+        bench.iter(|| bitmap_bitmap_intersection_count(&row_a, &row_b))
+    });
+    group.finish();
+}
+
+/// Sweeps `KernelParams::gallop_ratio` on a mid-skew shape (where the
+/// merge/gallop crossover actually sits) — the measurement behind the
+/// default in `KernelParams::new`.
+fn bench_gallop_ratio_sweep(c: &mut Criterion) {
+    let a = sorted_random(64, 1 << 20, 21);
+    let b = sorted_random(4_096, 1 << 20, 22);
+    let mut group = c.benchmark_group("gallop_ratio_64x4096");
+    for ratio in [1usize, 8, 16, 32, 64, 128] {
+        let params = KernelParams {
+            gallop_ratio: ratio,
+            ..KernelParams::new()
+        };
+        group.bench_with_input(BenchmarkId::new("ratio", ratio), &(), |bench, _| {
+            bench.iter(|| intersection_count_with(&a, &b, &params))
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end hybrid dispatch on a power-law graph: every edge's common
+/// neighborhood, hub rows on vs. off.
+fn bench_hybrid_graph_dispatch(c: &mut Criterion) {
+    let hybrid = egobtw_gen::barabasi_albert(10_000, 8, 5);
+    let plain = hybrid.with_hybrid_config(&HybridConfig::disabled());
+    let edges: Vec<(u32, u32)> = hybrid.edges().collect();
+    let mut group = c.benchmark_group("common_neighbors_all_edges_10k_ba");
+    group.bench_function("hybrid_auto_hubs", |b| {
+        b.iter(|| {
+            edges
+                .iter()
+                .map(|&(u, v)| hybrid.common_neighbor_count(u, v))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("plain_slices", |b| {
+        b.iter(|| {
+            edges
+                .iter()
+                .map(|&(u, v)| plain.common_neighbor_count(u, v))
+                .sum::<usize>()
+        })
+    });
     group.finish();
 }
 
@@ -119,6 +200,9 @@ fn bench_triangles(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_intersection,
+    bench_bitmap_kernels,
+    bench_gallop_ratio_sweep,
+    bench_hybrid_graph_dispatch,
     bench_edge_membership,
     bench_pair_hashing,
     bench_triangles

@@ -7,6 +7,8 @@ use egobtw_gen::rmat::RmatParams;
 use egobtw_graph::CsrGraph;
 use std::time::{Duration, Instant};
 
+pub mod json;
+
 /// A named benchmark graph.
 pub struct Dataset {
     /// Stand-in name, e.g. `youtube-like`.

@@ -16,15 +16,18 @@
 
 use crate::smap::SMapStore;
 use crate::stats::SearchStats;
-use egobtw_graph::intersect::intersect_into;
-use egobtw_graph::{CsrGraph, EdgeSet, VertexId};
+use egobtw_graph::{CsrGraph, EdgeSet, KernelParams, VertexId};
 
 /// Computes `CB(v)` for every vertex. Returns the values and work counters.
 pub fn compute_all(g: &CsrGraph) -> (Vec<f64>, SearchStats) {
-    let mut store = SMapStore::new(g.n());
-    let mut stats = SearchStats::default();
-    let edges = EdgeSet::from_graph(g);
-    process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
+    compute_all_with(g, &KernelParams::new())
+}
+
+/// [`compute_all`] with pinned intersection-dispatch thresholds — the perf
+/// harness uses [`KernelParams::legacy`] here to time the pre-hybrid
+/// baseline on a bitmap-free graph.
+pub fn compute_all_with(g: &CsrGraph, params: &KernelParams) -> (Vec<f64>, SearchStats) {
+    let (store, mut stats) = build_store_with(g, params);
     // Deterministic finalize: makes the output bit-identical to the
     // parallel PEBW engines, which build the same maps in another order.
     let cb = (0..g.n() as VertexId)
@@ -32,6 +35,23 @@ pub fn compute_all(g: &CsrGraph) -> (Vec<f64>, SearchStats) {
         .collect();
     stats.exact_computations = g.n();
     (cb, stats)
+}
+
+/// Builds the complete `S`-map store for `g` in one edge-centric pass.
+/// Shared by [`compute_all`] and the dynamic index constructor
+/// (`LocalIndex::new`), so both route common-neighbor queries through the
+/// hybrid kernels.
+pub fn build_store(g: &CsrGraph) -> (SMapStore, SearchStats) {
+    build_store_with(g, &KernelParams::new())
+}
+
+/// [`build_store`] with explicit dispatch thresholds.
+pub fn build_store_with(g: &CsrGraph, params: &KernelParams) -> (SMapStore, SearchStats) {
+    let mut store = SMapStore::new(g.n());
+    let mut stats = SearchStats::default();
+    let edges = EdgeSet::from_graph(g);
+    process_edge_range_with(g, &edges, &mut store, &mut stats, 0, g.n(), params);
+    (store, stats)
 }
 
 /// Processes the edges *owned* by vertices `lo..hi` (an edge `(u,v)` with
@@ -46,14 +66,31 @@ pub fn process_edge_range(
     lo: usize,
     hi: usize,
 ) {
+    process_edge_range_with(g, edges, store, stats, lo, hi, &KernelParams::new());
+}
+
+/// [`process_edge_range`] with explicit dispatch thresholds.
+pub fn process_edge_range_with(
+    g: &CsrGraph,
+    edges: &EdgeSet,
+    store: &mut SMapStore,
+    stats: &mut SearchStats,
+    lo: usize,
+    hi: usize,
+    params: &KernelParams,
+) {
     let mut common: Vec<VertexId> = Vec::new();
     for a in lo as VertexId..hi as VertexId {
+        if g.degree(a) == 1 {
+            // N(a) = {b}: every owned edge has an empty common neighborhood.
+            continue;
+        }
         for &b in g.neighbors(a) {
             if b <= a {
                 continue;
             }
             common.clear();
-            intersect_into(g.neighbors(a), g.neighbors(b), &mut common);
+            g.common_neighbors_into_with(a, b, params, &mut common);
             apply_edge(edges, store, stats, a, b, &common);
         }
     }

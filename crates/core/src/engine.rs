@@ -26,7 +26,6 @@
 
 use crate::smap::SMapStore;
 use crate::stats::SearchStats;
-use egobtw_graph::intersect::intersect_into;
 use egobtw_graph::triangle::intersect_rank_sorted;
 use egobtw_graph::{
     pack_pair, CsrGraph, DegreeOrder, EdgeSet, FxHashMap, FxHashSet, OrientedGraph, VertexId,
@@ -175,7 +174,9 @@ impl<'g> Engine<'g> {
         for idx in 0..self.g.degree(u) {
             let b = self.g.neighbors(u)[idx];
             full.clear();
-            intersect_into(self.g.neighbors(u), self.g.neighbors(b), &mut full);
+            // Hybrid dispatch: hub rows answer with bit-probes instead of
+            // rescanning the long sorted slice (EgoBWCal's hot query).
+            self.g.common_neighbors_into(u, b, &mut full);
             seen.clear();
             if let Some(list) = self.cn.get(&pack_pair(u, b)) {
                 if list.len() == full.len() {

@@ -28,6 +28,19 @@ pub trait EgoView {
     fn for_each_neighbor(&self, u: VertexId, f: &mut dyn FnMut(VertexId));
     /// Edge membership.
     fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool;
+    /// Appends `N(u) ∩ N(v)` to `out` in ascending order. The default
+    /// filters `N(u)` by membership; [`CsrGraph`] overrides it with the
+    /// hybrid merge/gallop/bitmap dispatch and [`DynGraph`] with a
+    /// smaller-set hash probe.
+    fn common_neighbors_sorted_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        let start = out.len();
+        self.for_each_neighbor(u, &mut |w| {
+            if self.has_edge_between(w, v) {
+                out.push(w);
+            }
+        });
+        out[start..].sort_unstable();
+    }
 }
 
 impl EgoView for CsrGraph {
@@ -45,6 +58,9 @@ impl EgoView for CsrGraph {
     fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool {
         self.has_edge(u, v)
     }
+    fn common_neighbors_sorted_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        self.common_neighbors_into(u, v, out);
+    }
 }
 
 impl EgoView for DynGraph {
@@ -61,6 +77,21 @@ impl EgoView for DynGraph {
     }
     fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool {
         self.has_edge(u, v)
+    }
+    fn common_neighbors_sorted_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        let start = out.len();
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let larger = self.neighbors(b);
+        for &w in self.neighbors(a) {
+            if larger.contains(&w) {
+                out.push(w);
+            }
+        }
+        out[start..].sort_unstable();
     }
 }
 
@@ -85,15 +116,19 @@ pub fn ego_betweenness_of<V: EgoView + ?Sized>(g: &V, p: VertexId) -> f64 {
         index.insert(v, i as u32);
     }
 
-    // rows[i] = bitset over neighbor indices adjacent to nbrs[i].
+    // rows[i] = bitset over neighbor indices adjacent to nbrs[i], i.e.
+    // the common neighborhood N(p) ∩ N(nbrs[i]) re-indexed locally —
+    // served by the view's intersection kernel (hybrid dispatch on CSR).
     let words = d.div_ceil(64);
     let mut rows = vec![0u64; d * words];
+    let mut common: Vec<VertexId> = Vec::new();
     for (i, &v) in nbrs.iter().enumerate() {
-        g.for_each_neighbor(v, &mut |w| {
-            if let Some(&j) = index.get(&w) {
-                rows[i * words + (j as usize >> 6)] |= 1u64 << (j & 63);
-            }
-        });
+        common.clear();
+        g.common_neighbors_sorted_into(p, v, &mut common);
+        for w in &common {
+            let j = *index.get(w).expect("common neighbor lies in the ego");
+            rows[i * words + (j as usize >> 6)] |= 1u64 << (j & 63);
+        }
     }
 
     let mut cb = 0.0;

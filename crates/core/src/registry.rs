@@ -17,7 +17,7 @@
 use crate::naive::compute_all_naive;
 use crate::opt_search::{opt_bsearch, OptParams};
 use crate::{base_bsearch, compute_all};
-use egobtw_graph::{CsrGraph, VertexId};
+use egobtw_graph::{CsrGraph, HybridConfig, Relabeling, VertexId};
 
 /// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out.
 pub type EngineFn = Box<dyn Fn(&CsrGraph, usize) -> Vec<(VertexId, f64)> + Send + Sync>;
@@ -77,7 +77,15 @@ pub fn topk_from_scores(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
 /// * `core::compute_all` — edge-centric shared-work pass over all vertices;
 /// * `core::base_search` — BaseBSearch (Algorithm 1);
 /// * `core::opt_search(θ=…)` — OptBSearch (Algorithm 2) at three gradient
-///   ratios, since θ must never change answers.
+///   ratios, since θ must never change answers;
+/// * `core::compute_all(degree-relabel)` — the hybrid fast path: run on
+///   the degree-descending relabeled twin, inverse-map results back;
+/// * `core::compute_all(bitmap-dense)` — rebuilt under
+///   [`HybridConfig::dense`], forcing every intersection through the
+///   slice×bitmap / bitmap×bitmap kernels (conformance coverage for the
+///   bitmap paths, which real thresholds rarely reach on small graphs);
+/// * `core::opt_search(θ=1.05, degree-relabel)` — OptBSearch on the
+///   relabeled twin, since renaming must never change answers.
 pub fn builtin_engines() -> Vec<RegisteredEngine> {
     let mut engines = vec![
         RegisteredEngine::new(
@@ -100,6 +108,29 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
                 as EngineFn,
         ));
     }
+    engines.push(RegisteredEngine::new(
+        "core::compute_all(degree-relabel)",
+        Box::new(|g: &CsrGraph, k| {
+            let relab = Relabeling::degree_descending(g);
+            let rg = relab.apply(g);
+            topk_from_scores(&relab.restore_scores(&compute_all(&rg).0), k)
+        }) as EngineFn,
+    ));
+    engines.push(RegisteredEngine::new(
+        "core::compute_all(bitmap-dense)",
+        Box::new(|g: &CsrGraph, k| {
+            let dense = g.with_hybrid_config(&HybridConfig::dense());
+            topk_from_scores(&compute_all(&dense).0, k)
+        }) as EngineFn,
+    ));
+    engines.push(RegisteredEngine::new(
+        "core::opt_search(θ=1.05, degree-relabel)",
+        Box::new(|g: &CsrGraph, k| {
+            let relab = Relabeling::degree_descending(g);
+            let rg = relab.apply(g);
+            relab.restore_topk(opt_bsearch(&rg, k, OptParams { theta: 1.05 }).entries)
+        }) as EngineFn,
+    ));
     engines
 }
 

@@ -1,0 +1,81 @@
+//! Permutation-invariance of every registry engine.
+//!
+//! Renaming vertices must never change answers: each engine run on the
+//! degree-descending relabeled twin, with ids inverse-mapped back, must
+//! return a top-k that is tie-equivalent to its answer on the original
+//! graph. "Tie-equivalent" is judged by the conformance comparator
+//! (`conformance::check_topk`): same score multiset, per-vertex honesty,
+//! and mandatory inclusion of everything strictly above the k-boundary —
+//! the boundary tie class itself is legitimately interchangeable, and a
+//! relabel is exactly the kind of change that re-picks it.
+
+use conformance::{check_topk, REL_TOL};
+use egobtw_core::naive::compute_all_naive;
+use egobtw_core::registry::builtin_engines;
+use egobtw_graph::{CsrGraph, Relabeling, VertexId};
+
+/// Runs every registry engine on `g` and on its degree-relabeled twin and
+/// checks both answers against the same truth vector.
+fn assert_relabel_invariant(g: &CsrGraph, label: &str) {
+    let truth = compute_all_naive(g);
+    let relab = Relabeling::degree_descending(g);
+    let twin = relab.apply(g);
+    let n = g.n();
+    for k in [0usize, 1, n / 2, n, n + 5] {
+        for engine in builtin_engines() {
+            let direct = engine.topk(g, k);
+            check_topk(&truth, &direct, k, REL_TOL).unwrap_or_else(|e| {
+                panic!("{label}: {} direct, k={k}: {e}", engine.name());
+            });
+            // Run on the twin, map ids back, restore the ordering contract.
+            let via_twin = relab.restore_topk(engine.topk(&twin, k));
+            check_topk(&truth, &via_twin, k, REL_TOL).unwrap_or_else(|e| {
+                panic!("{label}: {} via relabeled twin, k={k}: {e}", engine.name());
+            });
+        }
+    }
+}
+
+#[test]
+fn classics_are_relabel_invariant() {
+    assert_relabel_invariant(&egobtw_gen::classic::karate_club(), "karate");
+    // Regular graphs are all-ties — the harshest boundary case.
+    assert_relabel_invariant(&egobtw_gen::classic::cycle(9), "cycle9");
+    assert_relabel_invariant(&egobtw_gen::classic::complete(7), "K7");
+    assert_relabel_invariant(&egobtw_gen::classic::barbell(5), "barbell5");
+    assert_relabel_invariant(&egobtw_gen::classic::star(12), "star12");
+}
+
+#[test]
+fn paper_graph_is_relabel_invariant() {
+    assert_relabel_invariant(&egobtw_gen::toy::paper_graph(), "paper-fig1");
+}
+
+#[test]
+fn random_and_skewed_graphs_are_relabel_invariant() {
+    for seed in 0..3u64 {
+        assert_relabel_invariant(&egobtw_gen::gnp(36, 0.15, seed), &format!("gnp[{seed}]"));
+    }
+    // Power-law stand-in: hubs make the relabel actually move vertices.
+    assert_relabel_invariant(&egobtw_gen::barabasi_albert(80, 3, 7), "ba80");
+    assert_relabel_invariant(
+        &egobtw_gen::planted_partition(
+            egobtw_gen::community::PlantedPartition {
+                communities: 5,
+                community_size: 8,
+                p_in: 0.6,
+                cross_edges_per_vertex: 0.7,
+            },
+            3,
+        ),
+        "community",
+    );
+}
+
+#[test]
+fn degenerate_graphs_are_relabel_invariant() {
+    assert_relabel_invariant(&CsrGraph::from_edges(0, &[]), "empty");
+    assert_relabel_invariant(&CsrGraph::from_edges(1, &[]), "singleton");
+    let isolated: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+    assert_relabel_invariant(&CsrGraph::from_edges(5, &isolated), "mostly-isolated");
+}

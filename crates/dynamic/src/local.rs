@@ -36,13 +36,11 @@ pub struct LocalIndex {
 }
 
 impl LocalIndex {
-    /// Builds the index from a static graph (one full `compute_all` pass to
-    /// populate the maps).
+    /// Builds the index from a static graph: one shared edge-centric pass
+    /// (`build_store`, routed through the hybrid intersection kernels) to
+    /// populate the maps.
     pub fn new(g: &CsrGraph) -> Self {
-        let mut store = SMapStore::new(g.n());
-        let mut stats = egobtw_core::stats::SearchStats::default();
-        let edges = egobtw_graph::EdgeSet::from_graph(g);
-        egobtw_core::compute_all::process_edge_range(g, &edges, &mut store, &mut stats, 0, g.n());
+        let (store, _) = egobtw_core::compute_all::build_store(g);
         // Deterministic finalize, so the starting values are bit-identical
         // to `compute_all` (and hence to a fresh `LazyTopK`).
         let cb = (0..g.n() as VertexId)

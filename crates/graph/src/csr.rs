@@ -1,32 +1,233 @@
-//! Immutable compressed-sparse-row graph.
+//! Immutable compressed-sparse-row graph with hybrid hub bitmaps.
 //!
 //! [`CsrGraph`] is the workhorse static representation: two flat arrays
 //! (offsets + concatenated sorted adjacency lists). Every algorithm crate
 //! reads neighborhoods as `&[u32]` slices, which keeps hot loops free of
 //! pointer chasing and lets intersections run on sorted slices.
+//!
+//! On top of the CSR arrays, high-degree **hubs** additionally carry a
+//! packed bitmap row over the full vertex universe (bit `v` of word
+//! `v / 64`). On power-law graphs the hub rows are rescanned once per
+//! incident edge by the common-neighbor queries every engine bottoms out
+//! in; a bitmap row turns each such rescan from `O(d_hub)` merge work into
+//! one bit-probe per element of the *short* side. The degree threshold is
+//! auto-chosen at build under a memory budget (see [`HybridConfig`]), and
+//! [`CsrGraph::common_neighbors_into_with`] dispatches adaptively between
+//! merge, gallop, slice×bitmap, and bitmap×bitmap kernels.
 
+use crate::intersect::{
+    bitmap_bitmap_intersect_into, bitmap_bitmap_intersection_count, intersect_into_with,
+    intersection_count_with, slice_bitmap_intersect_into, slice_bitmap_intersection_count,
+    KernelParams,
+};
 use crate::pair::pack_pair;
 use crate::VertexId;
 
-/// An undirected, unweighted simple graph in compressed-sparse-row form.
+/// How [`CsrGraph`] chooses which vertices get packed bitmap rows.
+///
+/// A bitmap row costs `⌈n/64⌉` words, so rows are reserved for vertices
+/// whose adjacency is rescanned often and at length — the hubs. The
+/// builder picks the smallest degree threshold `t ≥ min_hub_degree` such
+/// that giving a row to *every* vertex of degree `≥ t` fits the memory
+/// budget; with the defaults the threshold lands near `n/64` on skewed
+/// graphs (budget ≈ the CSR arrays themselves) while small or regular
+/// graphs simply get no rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Master switch; `false` builds a plain CSR (the pre-hybrid layout).
+    pub enabled: bool,
+    /// Floor on the auto-chosen degree threshold. A row only pays for
+    /// itself once `d² ≫ n/64` (build cost `n/64` words amortized over
+    /// `d` rescans saving `O(d)` each), so very low floors waste memory
+    /// on graphs without real hubs.
+    pub min_hub_degree: usize,
+    /// Memory budget: total bitmap words may not exceed
+    /// `budget_words_per_edge · m` (+ a small constant allowance so tiny
+    /// graphs with one genuine hub still get a row).
+    pub budget_words_per_edge: usize,
+}
+
+impl HybridConfig {
+    /// Tuned defaults: threshold floor 32, budget 4 words (32 bytes) of
+    /// bitmap per edge — at most ~4× the adjacency array itself.
+    pub const fn new() -> Self {
+        HybridConfig {
+            enabled: true,
+            min_hub_degree: 32,
+            budget_words_per_edge: 4,
+        }
+    }
+
+    /// No bitmap rows at all: the exact pre-hybrid representation, used
+    /// by the perf harness to time the recorded baseline.
+    pub const fn disabled() -> Self {
+        HybridConfig {
+            enabled: false,
+            min_hub_degree: usize::MAX,
+            budget_words_per_edge: 0,
+        }
+    }
+
+    /// Bitmap rows for (nearly) every vertex: threshold floor 1 with a
+    /// generous budget. On conformance-scale graphs this forces every
+    /// intersection through the bitmap kernels, giving the differential
+    /// harness full coverage of the hybrid paths; on large graphs the
+    /// budget still caps memory, degrading gracefully toward the default
+    /// hub set. Not meant for production-size inputs.
+    pub const fn dense() -> Self {
+        HybridConfig {
+            enabled: true,
+            min_hub_degree: 1,
+            budget_words_per_edge: 64,
+        }
+    }
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig::new()
+    }
+}
+
+/// Packed bitmap rows for the hub vertices (see [`HybridConfig`]).
+#[derive(Clone, Debug)]
+struct HubBitmaps {
+    /// Degree threshold actually chosen; `usize::MAX` when no rows exist.
+    threshold: usize,
+    /// `⌈n/64⌉`, the length of each row.
+    words_per_row: usize,
+    /// Row index per vertex (`u32::MAX` = no row); empty when no rows.
+    row_of: Box<[u32]>,
+    /// Concatenated rows.
+    words: Box<[u64]>,
+}
+
+impl HubBitmaps {
+    fn none() -> Self {
+        HubBitmaps {
+            threshold: usize::MAX,
+            words_per_row: 0,
+            row_of: Box::new([]),
+            words: Box::new([]),
+        }
+    }
+
+    /// Picks the threshold and packs the rows for an already-built CSR.
+    fn build(offsets: &[usize], adj: &[VertexId], cfg: &HybridConfig) -> Self {
+        let n = offsets.len() - 1;
+        let m = adj.len() / 2;
+        if !cfg.enabled || n == 0 {
+            return HubBitmaps::none();
+        }
+        let words_per_row = n.div_ceil(64);
+        // Small constant allowance so a tiny graph with one genuine hub
+        // (e.g. a star) still gets its row under a per-edge budget.
+        let budget_words = m
+            .saturating_mul(cfg.budget_words_per_edge)
+            .saturating_add(8 * words_per_row);
+        let degree = |u: usize| offsets[u + 1] - offsets[u];
+        let d_max = (0..n).map(degree).max().unwrap_or(0);
+        let floor = cfg.min_hub_degree.max(1);
+        if d_max < floor {
+            return HubBitmaps::none();
+        }
+        // count_ge[d] = #vertices with degree ≥ d; smallest affordable
+        // threshold ≥ floor wins.
+        let mut count_ge = vec![0usize; d_max + 2];
+        for u in 0..n {
+            count_ge[degree(u)] += 1;
+        }
+        for d in (0..=d_max).rev() {
+            count_ge[d] += count_ge[d + 1];
+        }
+        let mut threshold = floor;
+        while threshold <= d_max && count_ge[threshold].saturating_mul(words_per_row) > budget_words
+        {
+            threshold += 1;
+        }
+        if threshold > d_max {
+            return HubBitmaps::none();
+        }
+        let hubs = count_ge[threshold];
+        let mut row_of = vec![u32::MAX; n];
+        let mut words = vec![0u64; hubs * words_per_row];
+        let mut next_row = 0u32;
+        for u in 0..n {
+            if degree(u) >= threshold {
+                let base = next_row as usize * words_per_row;
+                for &v in &adj[offsets[u]..offsets[u + 1]] {
+                    words[base + (v as usize >> 6)] |= 1u64 << (v & 63);
+                }
+                row_of[u] = next_row;
+                next_row += 1;
+            }
+        }
+        HubBitmaps {
+            threshold,
+            words_per_row,
+            row_of: row_of.into_boxed_slice(),
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// The bitmap row of `u`, if it is a hub.
+    #[inline]
+    fn row(&self, u: VertexId) -> Option<&[u64]> {
+        let slot = *self.row_of.get(u as usize)?;
+        if slot == u32::MAX {
+            return None;
+        }
+        let base = slot as usize * self.words_per_row;
+        Some(&self.words[base..base + self.words_per_row])
+    }
+
+    fn row_count(&self) -> usize {
+        self.words
+            .len()
+            .checked_div(self.words_per_row)
+            .unwrap_or(0)
+    }
+}
+
+/// The kernel chosen for one common-neighbor query, borrowing the inputs
+/// it needs (see [`CsrGraph::pick_kernel`]).
+enum CnKernel<'a> {
+    /// Word-wise `AND` of two hub rows.
+    BitmapBitmap(&'a [u64], &'a [u64]),
+    /// Probe the short slice into the long side's hub row.
+    SliceBitmap(&'a [VertexId], &'a [u64]),
+    /// Merge/gallop over two sorted slices (short side first).
+    Slices(&'a [VertexId], &'a [VertexId]),
+}
+
+/// An undirected, unweighted simple graph in compressed-sparse-row form,
+/// with packed bitmap rows on high-degree hubs (see the module docs).
 ///
 /// Invariants (established by all constructors, relied upon everywhere):
 /// * vertices are `0..n`;
 /// * adjacency slices are strictly increasing (sorted, no duplicates);
 /// * no self-loops;
-/// * symmetry: `v ∈ N(u) ⟺ u ∈ N(v)`.
+/// * symmetry: `v ∈ N(u) ⟺ u ∈ N(v)`;
+/// * every hub bitmap row holds exactly the bits of its adjacency slice.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
     offsets: Box<[usize]>,
     adj: Box<[VertexId]>,
+    hubs: HubBitmaps,
 }
 
 impl CsrGraph {
-    /// Builds a graph with `n` vertices from an undirected edge list.
+    /// Builds a graph with `n` vertices from an undirected edge list,
+    /// with hub bitmaps auto-chosen under [`HybridConfig::new`].
     ///
     /// Self-loops are dropped; duplicate edges (in either orientation) are
     /// collapsed. Panics if an endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Self::from_edges_with(n, edges, &HybridConfig::new())
+    }
+
+    /// [`CsrGraph::from_edges`] with an explicit hub-bitmap policy.
+    pub fn from_edges_with(n: usize, edges: &[(VertexId, VertexId)], cfg: &HybridConfig) -> Self {
         let mut keys: Vec<u64> = Vec::with_capacity(edges.len());
         for &(u, v) in edges {
             assert!(
@@ -67,12 +268,122 @@ impl CsrGraph {
         for u in 0..n {
             adj[offsets[u]..offsets[u + 1]].sort_unstable();
         }
+        let hubs = HubBitmaps::build(&offsets, &adj, cfg);
         let g = CsrGraph {
             offsets: offsets.into_boxed_slice(),
             adj: adj.into_boxed_slice(),
+            hubs,
         };
         debug_assert_eq!(g.validate(), Ok(()));
         g
+    }
+
+    /// Rebuilds only the hub-bitmap layer under a different policy; the
+    /// CSR arrays are shared-cloned, so this skips the edge re-sort.
+    pub fn with_hybrid_config(&self, cfg: &HybridConfig) -> Self {
+        let g = CsrGraph {
+            offsets: self.offsets.clone(),
+            adj: self.adj.clone(),
+            hubs: HubBitmaps::build(&self.offsets, &self.adj, cfg),
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// The auto-chosen hub degree threshold, if any bitmap rows exist.
+    pub fn hub_threshold(&self) -> Option<usize> {
+        (self.hubs.threshold != usize::MAX).then_some(self.hubs.threshold)
+    }
+
+    /// Number of vertices carrying a bitmap row.
+    pub fn hub_count(&self) -> usize {
+        self.hubs.row_count()
+    }
+
+    /// The packed bitmap row of `u` (bit `v` of word `v / 64`), if `u` is
+    /// a hub. Exposed for kernels and tests; most callers want
+    /// [`CsrGraph::common_neighbors_into`].
+    #[inline]
+    pub fn hub_bitmap(&self, u: VertexId) -> Option<&[u64]> {
+        self.hubs.row(u)
+    }
+
+    /// Appends the sorted common neighborhood `N(u) ∩ N(v)` to `out`,
+    /// dispatching adaptively over the hybrid representation with default
+    /// [`KernelParams`]. This is the common-neighbor entry point every
+    /// engine routes through.
+    #[inline]
+    pub fn common_neighbors_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        self.common_neighbors_into_with(u, v, &KernelParams::new(), out);
+    }
+
+    /// Picks the kernel for one common-neighbor query, with `a` the
+    /// lower-degree endpoint:
+    /// * `b` not a hub → merge/gallop over the two sorted slices;
+    /// * exactly one hub (necessarily the longer side) → probe the short
+    ///   slice into the hub's bitmap;
+    /// * both hubs and the short slice long enough that word-wise `AND`
+    ///   wins → bitmap×bitmap.
+    ///
+    /// Single source of truth for the dispatch heuristic, so the
+    /// materializing and counting entry points can never drift apart.
+    #[inline]
+    fn pick_kernel(&self, u: VertexId, v: VertexId, params: &KernelParams) -> CnKernel<'_> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let na = self.neighbors(a);
+        match self.hubs.row(b) {
+            Some(row_b) => match self.hubs.row(a) {
+                Some(row_a)
+                    if na.len().saturating_mul(params.bitmap_word_ratio)
+                        >= self.hubs.words_per_row =>
+                {
+                    CnKernel::BitmapBitmap(row_a, row_b)
+                }
+                _ => CnKernel::SliceBitmap(na, row_b),
+            },
+            None => CnKernel::Slices(na, self.neighbors(b)),
+        }
+    }
+
+    /// [`CsrGraph::common_neighbors_into`] with explicit dispatch
+    /// thresholds (see [`CsrGraph::pick_kernel`] for the heuristic).
+    pub fn common_neighbors_into_with(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        params: &KernelParams,
+        out: &mut Vec<VertexId>,
+    ) {
+        match self.pick_kernel(u, v, params) {
+            CnKernel::BitmapBitmap(ra, rb) => bitmap_bitmap_intersect_into(ra, rb, out),
+            CnKernel::SliceBitmap(slice, row) => slice_bitmap_intersect_into(slice, row, out),
+            CnKernel::Slices(na, nb) => intersect_into_with(na, nb, params, out),
+        }
+    }
+
+    /// `|N(u) ∩ N(v)|` without materializing, same dispatch as
+    /// [`CsrGraph::common_neighbors_into`].
+    #[inline]
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        self.common_neighbor_count_with(u, v, &KernelParams::new())
+    }
+
+    /// [`CsrGraph::common_neighbor_count`] with explicit thresholds.
+    pub fn common_neighbor_count_with(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        params: &KernelParams,
+    ) -> usize {
+        match self.pick_kernel(u, v, params) {
+            CnKernel::BitmapBitmap(ra, rb) => bitmap_bitmap_intersection_count(ra, rb),
+            CnKernel::SliceBitmap(slice, row) => slice_bitmap_intersection_count(slice, row),
+            CnKernel::Slices(na, nb) => intersection_count_with(na, nb, params),
+        }
     }
 
     /// Exhaustively checks the structural invariants every algorithm
@@ -126,6 +437,55 @@ impl CsrGraph {
                 }
             }
         }
+        self.validate_hubs()
+    }
+
+    /// Hub-bitmap layer invariants: rows exist exactly for vertices at or
+    /// above the threshold, and each row's set bits equal its adjacency
+    /// slice. Part of [`CsrGraph::validate`].
+    fn validate_hubs(&self) -> Result<(), String> {
+        let n = self.n();
+        let h = &self.hubs;
+        if h.row_of.is_empty() {
+            if !h.words.is_empty() {
+                return Err("hub words without row index".into());
+            }
+            return Ok(());
+        }
+        if h.row_of.len() != n {
+            return Err(format!("hub row index length {} != n {n}", h.row_of.len()));
+        }
+        if h.words_per_row != n.div_ceil(64) {
+            return Err(format!(
+                "words_per_row {} != ceil(n/64) {}",
+                h.words_per_row,
+                n.div_ceil(64)
+            ));
+        }
+        for u in 0..n as VertexId {
+            let row = h.row(u);
+            if row.is_some() != (self.degree(u) >= h.threshold) {
+                return Err(format!(
+                    "vertex {u} (degree {}) {} a bitmap row at threshold {}",
+                    self.degree(u),
+                    if row.is_some() { "has" } else { "lacks" },
+                    h.threshold
+                ));
+            }
+            if let Some(row) = row {
+                let mut decoded = Vec::with_capacity(self.degree(u));
+                for (i, &w) in row.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        decoded.push((i as u32) << 6 | w.trailing_zeros());
+                        w &= w - 1;
+                    }
+                }
+                if decoded != self.neighbors(u) {
+                    return Err(format!("hub row of {u} disagrees with adjacency slice"));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -153,12 +513,19 @@ impl CsrGraph {
         &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
     }
 
-    /// Edge membership by binary search: `O(log d(u))` on the smaller
-    /// endpoint. For O(1) membership in hot loops build an [`crate::EdgeSet`].
+    /// Edge membership: one bit-probe when either endpoint is a hub,
+    /// otherwise binary search (`O(log d)`) on the smaller endpoint. For
+    /// guaranteed O(1) membership in hot loops build an [`crate::EdgeSet`].
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if u == v {
             return false;
+        }
+        if let Some(row) = self.hubs.row(u) {
+            return row[v as usize >> 6] & (1u64 << (v & 63)) != 0;
+        }
+        if let Some(row) = self.hubs.row(v) {
+            return row[u as usize >> 6] & (1u64 << (u & 63)) != 0;
         }
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
@@ -304,11 +671,13 @@ mod tests {
         let asym = CsrGraph {
             offsets: vec![0usize, 1, 1].into_boxed_slice(),
             adj: vec![1 as VertexId].into_boxed_slice(),
+            hubs: HubBitmaps::none(),
         };
         assert!(asym.validate().unwrap_err().contains("odd total degree"));
         let unsorted = CsrGraph {
             offsets: vec![0usize, 2, 3, 4].into_boxed_slice(),
             adj: vec![2 as VertexId, 1, 0, 0].into_boxed_slice(),
+            hubs: HubBitmaps::none(),
         };
         assert!(unsorted
             .validate()
@@ -317,7 +686,149 @@ mod tests {
         let self_loop = CsrGraph {
             offsets: vec![0usize, 2, 4].into_boxed_slice(),
             adj: vec![0 as VertexId, 1, 0, 1].into_boxed_slice(),
+            hubs: HubBitmaps::none(),
         };
         assert!(self_loop.validate().unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn validate_rejects_hub_corruption() {
+        let mut g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)])
+            .with_hybrid_config(&HybridConfig::dense());
+        assert!(g.hub_count() > 0);
+        assert_eq!(g.validate(), Ok(()));
+        // Flip a bit in vertex 0's row: adjacency and bitmap now disagree.
+        g.hubs.words[0] ^= 1u64 << 3;
+        assert!(g.validate().unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn hub_selection_respects_threshold_and_config() {
+        // A 70-leaf star: the hub clears the default floor of 32, leaves
+        // stay slice-only.
+        let edges: Vec<(VertexId, VertexId)> = (1..=70).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(71, &edges);
+        assert_eq!(g.hub_count(), 1);
+        assert!(g.hub_bitmap(0).is_some());
+        assert!(g.hub_bitmap(1).is_none());
+        let t = g.hub_threshold().expect("star hub gets a row");
+        assert!(t <= 70 && t > 1);
+        // Disabled config: plain CSR.
+        let plain = g.with_hybrid_config(&HybridConfig::disabled());
+        assert_eq!(plain.hub_count(), 0);
+        assert_eq!(plain.hub_threshold(), None);
+        assert_eq!(plain.validate(), Ok(()));
+        // Dense config on a tiny graph: every non-isolated vertex rows up.
+        let dense = g.with_hybrid_config(&HybridConfig::dense());
+        assert_eq!(dense.hub_count(), 71);
+    }
+
+    #[test]
+    fn common_neighbors_dispatch_agrees_across_configs() {
+        // Karate club has max degree 17 < 32: default has no hubs; dense
+        // has all. Every pair must agree with the merge reference.
+        let base = classic_karate();
+        let dense = base.with_hybrid_config(&HybridConfig::dense());
+        assert_eq!(base.hub_count(), 0);
+        assert_eq!(dense.hub_count(), 34);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for u in base.vertices() {
+            for v in base.vertices() {
+                a.clear();
+                b.clear();
+                base.common_neighbors_into(u, v, &mut a);
+                dense.common_neighbors_into(u, v, &mut b);
+                assert_eq!(a, b, "pair ({u},{v})");
+                assert_eq!(dense.common_neighbor_count(u, v), a.len());
+                assert_eq!(base.has_edge(u, v), dense.has_edge(u, v));
+            }
+        }
+    }
+
+    /// Zachary's karate club, inlined to keep `egobtw-gen` out of this
+    /// crate's dev-dependencies.
+    fn classic_karate() -> CsrGraph {
+        let edges: [(VertexId, VertexId); 78] = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (0, 7),
+            (0, 8),
+            (0, 10),
+            (0, 11),
+            (0, 12),
+            (0, 13),
+            (0, 17),
+            (0, 19),
+            (0, 21),
+            (0, 31),
+            (1, 2),
+            (1, 3),
+            (1, 7),
+            (1, 13),
+            (1, 17),
+            (1, 19),
+            (1, 21),
+            (1, 30),
+            (2, 3),
+            (2, 7),
+            (2, 8),
+            (2, 9),
+            (2, 13),
+            (2, 27),
+            (2, 28),
+            (2, 32),
+            (3, 7),
+            (3, 12),
+            (3, 13),
+            (4, 6),
+            (4, 10),
+            (5, 6),
+            (5, 10),
+            (5, 16),
+            (6, 16),
+            (8, 30),
+            (8, 32),
+            (8, 33),
+            (9, 33),
+            (13, 33),
+            (14, 32),
+            (14, 33),
+            (15, 32),
+            (15, 33),
+            (18, 32),
+            (18, 33),
+            (19, 33),
+            (20, 32),
+            (20, 33),
+            (22, 32),
+            (22, 33),
+            (23, 25),
+            (23, 27),
+            (23, 29),
+            (23, 32),
+            (23, 33),
+            (24, 25),
+            (24, 27),
+            (24, 31),
+            (25, 31),
+            (26, 29),
+            (26, 33),
+            (27, 33),
+            (28, 31),
+            (28, 33),
+            (29, 32),
+            (29, 33),
+            (30, 32),
+            (30, 33),
+            (31, 32),
+            (31, 33),
+            (32, 33),
+        ];
+        CsrGraph::from_edges(34, &edges)
     }
 }

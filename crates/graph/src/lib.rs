@@ -10,6 +10,9 @@
 //! * [`DegreeOrder`] / [`OrientedGraph`] — the paper's total order `≺`
 //!   (degree descending, id descending on ties) and the acyclic edge
 //!   orientation derived from it;
+//! * [`Relabeling`] — the degree-descending vertex renaming derived from
+//!   `≺`, applied to a graph up front so hot loops see hubs as small ids,
+//!   with inverse maps to restore results to original ids;
 //! * [`triangle`] — oriented triangle enumeration (each triangle visited
 //!   exactly once, at its `≺`-minimal vertex);
 //! * [`DynGraph`] — a mutable adjacency structure for the dynamic
@@ -36,11 +39,12 @@ pub mod pair;
 pub mod triangle;
 
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, HybridConfig};
 pub use dynamic::DynGraph;
 pub use edgeset::EdgeSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use order::{DegreeOrder, OrientedGraph};
+pub use intersect::KernelParams;
+pub use order::{DegreeOrder, OrientedGraph, Relabeling};
 pub use pair::{pack_pair, unpack_pair};
 
 /// Dense vertex identifier. All graphs in this workspace index vertices as

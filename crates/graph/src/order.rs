@@ -62,6 +62,92 @@ impl DegreeOrder {
     }
 }
 
+/// A vertex renaming that sorts the id space by the total order `≺`
+/// (degree descending, larger original id first on ties): new id `0` is
+/// the highest-degree vertex.
+///
+/// Relabeling a graph this way puts the hot hub rows at the front of the
+/// CSR arena (cache locality for the rows every intersection rescans),
+/// makes `CsrGraph::edges`' `u < v` ownership put each edge on its
+/// *higher*-degree endpoint — so `compute_all`-style owner loops iterate
+/// the shorter side per edge — and keeps small new ids exactly where the
+/// hub-bitmap layer spends its budget. Engines run on the relabeled twin
+/// and inverse-map results back via [`Relabeling::restore_scores`] /
+/// [`Relabeling::restore_topk`].
+#[derive(Clone, Debug)]
+pub struct Relabeling {
+    /// `new_of_old[old] = new`.
+    new_of_old: Box<[VertexId]>,
+    /// `old_of_new[new] = old`.
+    old_of_new: Box<[VertexId]>,
+}
+
+impl Relabeling {
+    /// Computes the degree-descending relabeling of `g`.
+    pub fn degree_descending(g: &CsrGraph) -> Self {
+        let order = DegreeOrder::new(g);
+        let old_of_new: Box<[VertexId]> = order.iter().collect();
+        let mut new_of_old = vec![0 as VertexId; g.n()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old as usize] = new as VertexId;
+        }
+        Relabeling {
+            new_of_old: new_of_old.into_boxed_slice(),
+            old_of_new,
+        }
+    }
+
+    /// Number of vertices in the renamed universe.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// The new id of original vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.new_of_old[old as usize]
+    }
+
+    /// The original id of renamed vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.old_of_new[new as usize]
+    }
+
+    /// The relabeled twin of `g` (hub bitmaps auto-chosen as in
+    /// [`CsrGraph::from_edges`]). `g` must be the graph (or an
+    /// isomorphic twin) this relabeling was computed from.
+    pub fn apply(&self, g: &CsrGraph) -> CsrGraph {
+        assert_eq!(g.n(), self.n(), "relabeling size mismatch");
+        let edges: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .map(|(u, v)| (self.to_new(u), self.to_new(v)))
+            .collect();
+        CsrGraph::from_edges(self.n(), &edges)
+    }
+
+    /// Maps a per-vertex score vector computed on the relabeled twin back
+    /// to original vertex indexing.
+    pub fn restore_scores(&self, new_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(new_scores.len(), self.n(), "score vector size mismatch");
+        (0..self.n())
+            .map(|old| new_scores[self.new_of_old[old] as usize])
+            .collect()
+    }
+
+    /// Maps top-k entries computed on the relabeled twin back to original
+    /// ids, restoring the engines' ordering contract (descending score,
+    /// ascending original id among exact float ties).
+    pub fn restore_topk(&self, mut entries: Vec<(VertexId, f64)>) -> Vec<(VertexId, f64)> {
+        for e in entries.iter_mut() {
+            e.0 = self.to_old(e.0);
+        }
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries
+    }
+}
+
 /// The oriented graph `G⁺`: for each vertex, its out-neighbors
 /// `N⁺(u) = { v ∈ N(u) : u ≺ v }`, stored sorted by rank so that
 /// `N⁺(u) ∩ N⁺(v)` is a sorted-merge away.
@@ -189,6 +275,51 @@ mod tests {
             let ranks: Vec<_> = og.out_neighbors(u).iter().map(|&v| ord.rank(v)).collect();
             assert!(ranks.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn relabel_roundtrip_and_isomorphism() {
+        let g = star_plus_edge();
+        let relab = Relabeling::degree_descending(&g);
+        // Order is 0, 2, 1, 4, 3 → new ids follow it.
+        assert_eq!(relab.to_new(0), 0);
+        assert_eq!(relab.to_new(2), 1);
+        assert_eq!(relab.to_new(1), 2);
+        for v in 0..5u32 {
+            assert_eq!(relab.to_old(relab.to_new(v)), v);
+        }
+        let rg = relab.apply(&g);
+        assert_eq!(rg.n(), g.n());
+        assert_eq!(rg.m(), g.m());
+        // Isomorphism: edges map exactly, degrees are non-increasing.
+        for (u, v) in g.edges() {
+            assert!(rg.has_edge(relab.to_new(u), relab.to_new(v)));
+        }
+        let degs: Vec<usize> = rg.vertices().map(|v| rg.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degree descending");
+    }
+
+    #[test]
+    fn relabel_restores_scores_and_topk() {
+        let g = star_plus_edge();
+        let relab = Relabeling::degree_descending(&g);
+        // Scores indexed by new id = 10 * old id.
+        let new_scores: Vec<f64> = (0..5).map(|new| 10.0 * relab.to_old(new) as f64).collect();
+        let old_scores = relab.restore_scores(&new_scores);
+        assert_eq!(old_scores, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        // Top-k entries map back and re-sort with the id tiebreak.
+        let restored = relab.restore_topk(vec![(relab.to_new(3), 5.0), (relab.to_new(1), 5.0)]);
+        assert_eq!(restored, vec![(1, 5.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn relabel_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let relab = Relabeling::degree_descending(&g);
+        assert_eq!(relab.n(), 0);
+        assert_eq!(relab.apply(&g).n(), 0);
+        assert!(relab.restore_scores(&[]).is_empty());
+        assert!(relab.restore_topk(Vec::new()).is_empty());
     }
 
     #[test]

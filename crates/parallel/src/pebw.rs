@@ -1,7 +1,6 @@
 //! VertexPEBW and EdgePEBW.
 
 use egobtw_core::smap::PairMap;
-use egobtw_graph::intersect::intersect_into;
 use egobtw_graph::{CsrGraph, DegreeOrder, EdgeSet, OrientedGraph, VertexId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,7 +103,7 @@ pub fn vertex_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
                         let u = order.at(i);
                         for &v in og.out_neighbors(u) {
                             common.clear();
-                            intersect_into(g.neighbors(u), g.neighbors(v), &mut common);
+                            g.common_neighbors_into(u, v, &mut common);
                             shared.apply_edge(&edges, u, v, &common);
                         }
                     }
@@ -135,7 +134,7 @@ pub fn edge_pebw(g: &CsrGraph, threads: usize) -> Vec<f64> {
                     }
                     for &(a, b) in &edge_list[start..(start + CHUNK).min(m)] {
                         common.clear();
-                        intersect_into(g.neighbors(a), g.neighbors(b), &mut common);
+                        g.common_neighbors_into(a, b, &mut common);
                         shared.apply_edge(&edges, a, b, &common);
                     }
                 }
