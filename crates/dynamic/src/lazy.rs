@@ -35,6 +35,19 @@ pub struct LazyStats {
     pub swaps: usize,
 }
 
+/// Result of [`LazyTopK::peek_top_k`]: the maintained set without paying
+/// any refresh cost.
+#[derive(Clone, Debug)]
+pub struct TopKPeek {
+    /// The members of the maintained top-k, sorted by descending stored
+    /// value (ascending id on exact ties). Membership is exact; values of
+    /// stale members are lower bounds on their true `CB`.
+    pub entries: Vec<(VertexId, f64)>,
+    /// How many members carry a stale (lower-bound) value. `0` means
+    /// every value in `entries` is exact.
+    pub stale_members: usize,
+}
+
 /// Lazily maintained top-k ego-betweenness set.
 pub struct LazyTopK {
     g: DynGraph,
@@ -84,6 +97,34 @@ impl LazyTopK {
     /// Current graph.
     pub fn graph(&self) -> &DynGraph {
         &self.g
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Non-destructive read of the maintained set: no refresh is paid, so
+    /// this is `&self` and O(k log k).
+    ///
+    /// Semantics (from invariants I1/I3): the *membership* of the returned
+    /// set is always a correct top-k — `rebalance` restores it before every
+    /// `insert_edge`/`delete_edge` returns. Values are exact for fresh
+    /// members; a stale member (only possible via the delete/common-neighbor
+    /// path, where `CB` is non-decreasing) carries a **lower bound** on its
+    /// true score. `stale_members` counts them, so a caller can decide
+    /// whether the exact values are worth a [`LazyTopK::top_k`] refresh —
+    /// the query service serves `stale_members == 0` peeks directly and
+    /// defers the refresh cost otherwise.
+    pub fn peek_top_k(&self) -> TopKPeek {
+        let mut entries: Vec<(VertexId, f64)> =
+            self.r.iter().map(|&v| (v, self.val[v as usize])).collect();
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let stale_members = self.r.iter().filter(|&&v| self.stale[v as usize]).count();
+        TopKPeek {
+            entries,
+            stale_members,
+        }
     }
 
     /// The maintained top-k, with exact values (stale members are refreshed
@@ -399,6 +440,99 @@ mod tests {
         let mut lazy = LazyTopK::new(&g, 50);
         lazy.insert_edge(0, 4);
         assert_topk_correct(&mut lazy, 50);
+    }
+
+    #[test]
+    fn peek_is_fresh_after_build_and_insert_rebalance() {
+        let g = classic::karate_club();
+        let mut lazy = LazyTopK::new(&g, 5);
+        let peek = lazy.peek_top_k();
+        assert_eq!(peek.stale_members, 0, "initial build is fully exact");
+        assert_eq!(peek.entries, lazy.top_k());
+        // An endpoint update freshens members (handle_endpoint forces it),
+        // so a pure insert on non-member-adjacent vertices keeps members
+        // fresh too; either way top_k() and a fresh peek must agree.
+        lazy.insert_edge(4, 12);
+        let peek = lazy.peek_top_k();
+        let exact = lazy.top_k();
+        if peek.stale_members == 0 {
+            assert_eq!(peek.entries, exact);
+        }
+        assert_eq!(lazy.peek_top_k().stale_members, 0, "top_k() refreshed all");
+    }
+
+    #[test]
+    fn peek_reports_stale_lower_bounds_after_delete() {
+        // Delete (c,g) in the paper graph with a large k: common neighbors
+        // inside R keep lower-bound values (Example 8), so peek must flag
+        // them stale while membership stays a correct top-k set.
+        let g = toy::paper_graph();
+        let mut lazy = LazyTopK::new(&g, 12);
+        let before = lazy.top_k();
+        lazy.delete_edge(toy::ids::C, toy::ids::G);
+        let peek = lazy.peek_top_k();
+        assert!(
+            peek.stale_members > 0,
+            "Example 8 path must leave stale members"
+        );
+        assert_eq!(peek.entries.len(), before.len());
+        // Peek must not mutate: a second peek sees the identical state.
+        let again = lazy.peek_top_k();
+        assert_eq!(peek.entries, again.entries);
+        assert_eq!(peek.stale_members, again.stale_members);
+        // Stale values are lower bounds on the exact refreshed scores, and
+        // the membership already matches the refreshed answer.
+        let peek_vals: std::collections::HashMap<VertexId, f64> =
+            peek.entries.iter().copied().collect();
+        let exact = lazy.top_k();
+        let mut peek_set: Vec<VertexId> = peek_vals.keys().copied().collect();
+        let mut exact_set: Vec<VertexId> = exact.iter().map(|e| e.0).collect();
+        peek_set.sort_unstable();
+        exact_set.sort_unstable();
+        assert_eq!(peek_set, exact_set, "peek membership must already be exact");
+        for &(v, cb) in &exact {
+            assert!(
+                peek_vals[&v] <= cb + 1e-9,
+                "stale value {} for {v} must lower-bound exact {cb}",
+                peek_vals[&v]
+            );
+        }
+        assert_eq!(
+            lazy.peek_top_k().stale_members,
+            0,
+            "refresh clears staleness"
+        );
+        assert_topk_correct(&mut lazy, 12);
+    }
+
+    #[test]
+    fn peek_membership_matches_oracle_on_random_stream() {
+        let mut rng = StdRng::seed_from_u64(901);
+        let g0 = gnp(20, 0.25, 3);
+        let k = 5;
+        let mut lazy = LazyTopK::new(&g0, k);
+        for _ in 0..60 {
+            let u = rng.random_range(0..20u32);
+            let v = rng.random_range(0..20u32);
+            if u == v {
+                continue;
+            }
+            if lazy.graph().has_edge(u, v) {
+                lazy.delete_edge(u, v);
+            } else {
+                lazy.insert_edge(u, v);
+            }
+            // Peek first (must not disturb state), then verify exactness.
+            let peek = lazy.peek_top_k();
+            assert_eq!(peek.entries.len(), k.min(lazy.graph().n()));
+            let exact = lazy.top_k();
+            let mut ps: Vec<VertexId> = peek.entries.iter().map(|e| e.0).collect();
+            let mut es: Vec<VertexId> = exact.iter().map(|e| e.0).collect();
+            ps.sort_unstable();
+            es.sort_unstable();
+            assert_eq!(ps, es);
+            assert_topk_correct(&mut lazy, k);
+        }
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod lazy;
 pub mod local;
 pub mod stream;
 
-pub use lazy::LazyTopK;
+pub use lazy::{LazyTopK, TopKPeek};
 pub use local::LocalIndex;
 pub use stream::{replay_graph, EdgeOp};

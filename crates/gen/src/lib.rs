@@ -39,3 +39,61 @@ pub use community::planted_partition;
 pub use er::{gnm, gnp};
 pub use rmat::rmat;
 pub use ws::watts_strogatz;
+
+use egobtw_graph::CsrGraph;
+
+/// The families [`synth_family`] accepts, with base sizes at scale 1.0.
+pub const SYNTH_FAMILIES: &[&str] = &["karate", "toy", "er", "ba", "ws", "rmat", "community"];
+
+/// One-stop named-family synthesis, shared by the `mkdata` binary and the
+/// service's `egobtw-cli loadgen --gen` so "the same `(family, scale,
+/// seed)` is the same graph" holds *across tools*, not just within one.
+/// `scale` multiplies the family's base size (ignored by the fixed
+/// `karate`/`toy` fixtures); the floor is 8 vertices.
+pub fn synth_family(family: &str, scale: f64, seed: u64) -> Result<CsrGraph, String> {
+    let n = |base: usize| ((base as f64 * scale) as usize).max(8);
+    Ok(match family {
+        "karate" => classic::karate_club(),
+        "toy" => toy::paper_graph(),
+        "er" => gnp(n(200), 0.05, seed),
+        "ba" => barabasi_albert(n(200), 3, seed),
+        "ws" => watts_strogatz(n(200), 6, 0.1, seed),
+        "rmat" => {
+            let target = n(256);
+            let s = (usize::BITS - 1 - target.leading_zeros()).max(3);
+            rmat(s, 4, rmat::RmatParams::skewed(), seed)
+        }
+        "community" => planted_partition(
+            community::PlantedPartition {
+                communities: n(20),
+                community_size: 10,
+                p_in: 0.45,
+                cross_edges_per_vertex: 0.4,
+            },
+            seed,
+        ),
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (families: {})",
+                SYNTH_FAMILIES.join(", ")
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod synth_tests {
+    use super::*;
+
+    #[test]
+    fn every_family_synthesizes_deterministically() {
+        for &family in SYNTH_FAMILIES {
+            let a = synth_family(family, 0.5, 9).unwrap();
+            let b = synth_family(family, 0.5, 9).unwrap();
+            assert!(a.n() >= 8, "{family}");
+            assert_eq!((a.n(), a.m()), (b.n(), b.m()), "{family}");
+            assert_eq!(a.validate(), Ok(()), "{family}");
+        }
+        assert!(synth_family("nope", 1.0, 0).is_err());
+    }
+}

@@ -1,4 +1,4 @@
-//! Edge-list I/O in the SNAP text format.
+//! Graph I/O: SNAP-style text edge lists and versioned binary snapshots.
 //!
 //! The paper's datasets come from `snap.stanford.edu` as whitespace-
 //! separated edge lists with `#` comment lines. [`read_edge_list`] accepts
@@ -6,6 +6,12 @@
 //! non-negative integer ids to a dense `0..n` range, and returns a
 //! [`CsrGraph`]. Buffered reading with a reused line buffer keeps the
 //! loader allocation-free per line (perf-book "Reading Lines from a File").
+//!
+//! [`write_snapshot`] / [`read_snapshot`] are the binary counterpart used
+//! by the query service's graph catalog: a little-endian frame with a
+//! magic + version + checksum header, the canonical `u < v` edge list,
+//! and (optionally) the original vertex labels, so a dataset loaded from
+//! a relabeled SNAP dump round-trips without re-parsing text.
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
@@ -14,7 +20,7 @@ use crate::VertexId;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Errors produced by the edge-list parser.
+/// Errors produced by the edge-list parser and the snapshot codec.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
@@ -26,6 +32,9 @@ pub enum IoError {
         /// The offending line, verbatim.
         line: String,
     },
+    /// A binary snapshot failed structural validation (bad magic,
+    /// unsupported version, checksum mismatch, or inconsistent payload).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -35,6 +44,7 @@ impl std::fmt::Display for IoError {
             IoError::Parse { line_no, line } => {
                 write!(f, "cannot parse edge on line {line_no}: {line:?}")
             }
+            IoError::Snapshot(reason) => write!(f, "bad snapshot: {reason}"),
         }
     }
 }
@@ -107,9 +117,10 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, Vec<u64
 }
 
 /// Writes `g` as a `u v` edge list (one canonical `u < v` line per edge),
-/// with a small header comment.
-pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
-    let mut w = BufWriter::new(writer);
+/// with a small header comment. The writer is used as given — wrap files
+/// in a [`BufWriter`] (as [`write_edge_list_file`] does) to avoid one
+/// syscall per edge.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
     writeln!(w, "# undirected graph: n={} m={}", g.n(), g.m())?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
@@ -117,9 +128,193 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Convenience wrapper over [`write_edge_list`] for a filesystem path.
+/// Convenience wrapper over [`write_edge_list`] for a filesystem path,
+/// with buffered writes.
 pub fn write_edge_list_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
-    write_edge_list(g, std::fs::File::create(path)?)
+    write_edge_list(g, BufWriter::new(std::fs::File::create(path)?))
+}
+
+// ---------------------------------------------------------------------------
+// Versioned binary snapshots
+// ---------------------------------------------------------------------------
+
+/// Leading magic bytes of a binary snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EGOBSNAP";
+/// Current snapshot format version. Readers reject anything else.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Header flag bit: the payload carries `n` original vertex labels.
+const FLAG_LABELS: u8 = 1;
+/// Fixed header size: magic + version + flags + n + m + checksum.
+const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 8 + 8;
+
+/// FNV-1a 64-bit hash, the snapshot payload checksum. Not cryptographic —
+/// it guards against truncation and bit rot, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes `g` (and, when given, the original vertex labels from
+/// [`read_edge_list`]) as a versioned binary snapshot:
+///
+/// ```text
+/// magic "EGOBSNAP" | version u32 | flags u8 | n u64 | m u64 | checksum u64
+/// payload: m × (u u32, v u32) canonical u < v edges, CSR order,
+///          then (flags & 1) ? n × label u64 : nothing
+/// ```
+///
+/// All integers little-endian; the checksum is FNV-1a 64 over the payload.
+/// `labels`, when present, must have length `n`.
+pub fn write_snapshot<W: Write>(g: &CsrGraph, labels: Option<&[u64]>, mut w: W) -> io::Result<()> {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), g.n(), "labels length must equal n");
+    }
+    let mut payload = Vec::with_capacity(8 * g.m() + labels.map_or(0, |l| 8 * l.len()));
+    for (u, v) in g.edges() {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    if let Some(l) = labels {
+        for &raw in l {
+            payload.extend_from_slice(&raw.to_le_bytes());
+        }
+    }
+    w.write_all(&SNAPSHOT_MAGIC)?;
+    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    w.write_all(&[if labels.is_some() { FLAG_LABELS } else { 0 }])?;
+    w.write_all(&(g.n() as u64).to_le_bytes())?;
+    w.write_all(&(g.m() as u64).to_le_bytes())?;
+    w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Convenience wrapper over [`write_snapshot`] for a filesystem path,
+/// with buffered writes.
+pub fn write_snapshot_file<P: AsRef<Path>>(
+    g: &CsrGraph,
+    labels: Option<&[u64]>,
+    path: P,
+) -> io::Result<()> {
+    write_snapshot(g, labels, BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Reads a binary snapshot written by [`write_snapshot`], returning the
+/// graph and the original labels when the file carries them. Fails with
+/// [`IoError::Snapshot`] on a bad magic, an unsupported version, a
+/// checksum mismatch, or a structurally inconsistent edge section.
+pub fn read_snapshot<R: Read>(mut reader: R) -> Result<(CsrGraph, Option<Vec<u64>>), IoError> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            IoError::Snapshot("file shorter than the fixed header".into())
+        } else {
+            IoError::Io(e)
+        }
+    })?;
+    if header[..8] != SNAPSHOT_MAGIC {
+        return Err(IoError::Snapshot(format!(
+            "magic {:?}, expected {SNAPSHOT_MAGIC:?}",
+            &header[..8]
+        )));
+    }
+    let le_u32 = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().unwrap());
+    let le_u64 = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
+    let version = le_u32(8);
+    if version != SNAPSHOT_VERSION {
+        return Err(IoError::Snapshot(format!(
+            "version {version}, this reader supports {SNAPSHOT_VERSION}"
+        )));
+    }
+    let flags = header[12];
+    if flags & !FLAG_LABELS != 0 {
+        return Err(IoError::Snapshot(format!("unknown flag bits {flags:#x}")));
+    }
+    let n = le_u64(13);
+    let m = le_u64(21);
+    let checksum = le_u64(29);
+    if n > u64::from(u32::MAX) {
+        return Err(IoError::Snapshot(format!("n = {n} exceeds u32 ids")));
+    }
+    // The header is untrusted input: bound m structurally (canonical
+    // u < v edges are distinct pairs) and size the payload with checked
+    // arithmetic, then read *through* a `take` so a lying header can at
+    // most make us buffer the actual file — never pre-allocate from a
+    // fabricated multi-exabyte length (`vec![0; huge]` would abort).
+    let max_m = n as u128 * n.saturating_sub(1) as u128 / 2;
+    if m as u128 > max_m {
+        return Err(IoError::Snapshot(format!(
+            "m = {m} exceeds the {max_m} distinct pairs of n = {n} vertices"
+        )));
+    }
+    let has_labels = flags & FLAG_LABELS != 0;
+    let payload_len: usize = 8u64
+        .checked_mul(m)
+        .and_then(|e| e.checked_add(if has_labels { 8 * n } else { 0 }))
+        .and_then(|total| usize::try_from(total).ok())
+        .ok_or_else(|| IoError::Snapshot(format!("payload size overflows (m = {m})")))?;
+    let mut payload = Vec::new();
+    (&mut reader)
+        .take(payload_len as u64)
+        .read_to_end(&mut payload)
+        .map_err(IoError::Io)?;
+    if payload.len() != payload_len {
+        return Err(IoError::Snapshot(format!(
+            "payload truncated: header promises {payload_len} bytes, file has {}",
+            payload.len()
+        )));
+    }
+    let mut trailing = [0u8; 1];
+    if reader.read(&mut trailing).map_err(IoError::Io)? != 0 {
+        return Err(IoError::Snapshot("trailing bytes after payload".into()));
+    }
+    let got = fnv1a64(&payload);
+    if got != checksum {
+        return Err(IoError::Snapshot(format!(
+            "checksum mismatch: header {checksum:#018x}, payload {got:#018x}"
+        )));
+    }
+    let mut edges = Vec::with_capacity(m as usize);
+    for i in 0..m as usize {
+        let at = 8 * i;
+        let u = u32::from_le_bytes(payload[at..at + 4].try_into().unwrap());
+        let v = u32::from_le_bytes(payload[at + 4..at + 8].try_into().unwrap());
+        if u >= v || u64::from(v) >= n {
+            return Err(IoError::Snapshot(format!(
+                "edge {i} = ({u}, {v}) is not canonical u < v < n = {n}"
+            )));
+        }
+        edges.push((u, v));
+    }
+    let labels = has_labels.then(|| {
+        let base = 8 * m as usize;
+        (0..n as usize)
+            .map(|i| {
+                let at = base + 8 * i;
+                u64::from_le_bytes(payload[at..at + 8].try_into().unwrap())
+            })
+            .collect::<Vec<u64>>()
+    });
+    let g = CsrGraph::from_edges(n as usize, &edges);
+    if g.m() as u64 != m {
+        return Err(IoError::Snapshot(format!(
+            "duplicate edges: {m} declared, {} distinct",
+            g.m()
+        )));
+    }
+    Ok((g, labels))
+}
+
+/// Convenience wrapper over [`read_snapshot`] for a filesystem path,
+/// with buffered reads.
+pub fn read_snapshot_file<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<Vec<u64>>), IoError> {
+    read_snapshot(BufReader::new(std::fs::File::open(path)?))
 }
 
 #[cfg(test)]
@@ -240,5 +435,161 @@ mod tests {
         assert_eq!(g.n(), 2);
         assert_eq!(g.m(), 1);
         assert_eq!(labels, vec![u64::MAX, 3]);
+    }
+
+    // --- binary snapshots ---------------------------------------------
+
+    fn snapshot_bytes(g: &CsrGraph, labels: Option<&[u64]>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(g, labels, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn snapshot_roundtrip_without_labels() {
+        // Includes an isolated vertex (4 < n but degree 0) to check n is
+        // carried by the header, not inferred from the edge section.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]);
+        let buf = snapshot_bytes(&g, None);
+        let (g2, labels) = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(labels, None);
+        assert_eq!((g2.n(), g2.m()), (g.n(), g.m()));
+        for u in g.vertices() {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+        }
+        assert_eq!(g2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_labels() {
+        let text = "100 200\n200 300\n300 100\n300 7\n";
+        let (g, labels) = read_edge_list(text.as_bytes()).unwrap();
+        let buf = snapshot_bytes(&g, Some(&labels));
+        let (g2, labels2) = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(labels2.as_deref(), Some(labels.as_slice()));
+        assert_eq!((g2.n(), g2.m()), (g.n(), g.m()));
+        for u in g.vertices() {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let (g2, labels) = read_snapshot(snapshot_bytes(&g, None).as_slice()).unwrap();
+        assert_eq!((g2.n(), g2.m()), (0, 0));
+        assert_eq!(labels, None);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let path = std::env::temp_dir().join(format!("egobtw-snap-{}.snap", std::process::id()));
+        write_snapshot_file(&g, Some(&[9, 8, 7, 6]), &path).unwrap();
+        let (g2, labels) = read_snapshot_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g2.m(), 3);
+        assert_eq!(labels, Some(vec![9, 8, 7, 6]));
+    }
+
+    fn expect_snapshot_err(bytes: &[u8], needle: &str) {
+        match read_snapshot(bytes) {
+            Err(IoError::Snapshot(reason)) => {
+                assert!(reason.contains(needle), "{reason:?} lacks {needle:?}")
+            }
+            other => panic!("expected Snapshot error containing {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_magic() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = snapshot_bytes(&g, None);
+        buf[0] ^= 0xFF;
+        expect_snapshot_err(&buf, "magic");
+    }
+
+    #[test]
+    fn snapshot_rejects_future_version() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let mut buf = snapshot_bytes(&g, None);
+        buf[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        expect_snapshot_err(&buf, "version");
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_flags() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let mut buf = snapshot_bytes(&g, None);
+        buf[12] |= 0x80;
+        expect_snapshot_err(&buf, "flag");
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupted_payload() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = snapshot_bytes(&g, None);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        expect_snapshot_err(&buf, "checksum");
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_at_every_length() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let buf = snapshot_bytes(&g, Some(&[4, 5, 6, 7]));
+        for cut in 0..buf.len() {
+            assert!(
+                read_snapshot(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_trailing_garbage() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let mut buf = snapshot_bytes(&g, None);
+        buf.push(0);
+        expect_snapshot_err(&buf, "trailing");
+    }
+
+    #[test]
+    fn snapshot_rejects_fabricated_huge_sizes_without_allocating() {
+        // A corrupt header claiming m = 2^60 (or any m beyond n·(n−1)/2)
+        // must fail structurally — not pre-allocate exabytes and abort.
+        let header_with = |n: u64, m: u64| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&SNAPSHOT_MAGIC);
+            buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+            buf.push(0);
+            buf.extend_from_slice(&n.to_le_bytes());
+            buf.extend_from_slice(&m.to_le_bytes());
+            buf.extend_from_slice(&fnv1a64(&[]).to_le_bytes());
+            buf
+        };
+        expect_snapshot_err(&header_with(4, 1 << 60), "distinct pairs");
+        expect_snapshot_err(&header_with(u64::from(u32::MAX), 1 << 60), "truncated");
+        expect_snapshot_err(&header_with(4, 7), "distinct pairs");
+        // A structurally plausible m with no payload is plain truncation.
+        expect_snapshot_err(&header_with(4, 6), "truncated");
+    }
+
+    #[test]
+    fn snapshot_rejects_non_canonical_edges() {
+        // Hand-build a frame whose edge section says (1, 1): structurally
+        // valid header + checksum, semantically bad payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n
+        buf.extend_from_slice(&1u64.to_le_bytes()); // m
+        buf.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        expect_snapshot_err(&buf, "canonical");
     }
 }

@@ -1,0 +1,258 @@
+//! `egobtw-cli` — scriptable client for `egobtw-serve`, plus the loadgen.
+//!
+//! ```text
+//! egobtw-cli script  --connect ADDR [--expect-ok] [FILE]
+//!     Send each non-blank, non-# line of FILE (or stdin) as one frame;
+//!     print `> command` and the response line(s). With --expect-ok, exit 1
+//!     if any response line is an ERR.
+//!
+//! egobtw-cli loadgen [--connect ADDR] [flags]
+//!     Drive a mixed read/update workload and write BENCH_service.json.
+//!     Without --connect the workload runs against an in-process Service
+//!     (no sockets) — deterministic and CI-friendly.
+//!
+//!     --dataset NAME=PATH[:MODE]  dataset file (repeatable)
+//!     --gen NAME=FAMILY:SCALE:SEED[:MODE]  synthesize instead (repeatable,
+//!                                 in-process target only)
+//!     --threads N   client threads per dataset (default 4)
+//!     --ops N       total ops per dataset (default 2000)
+//!     --write-frac F  update fraction (default 0.1)
+//!     --k K         top-k size for reads (default 8)
+//!     --batch B     update ops per epoch (default 2)
+//!     --seed S      workload seed (default 42)
+//!     --check       oracle-check sampled top-k answers (small datasets)
+//!     --out PATH    output file (default BENCH_service.json)
+//!
+//! egobtw-cli loadgen --validate PATH [--expect-datasets N]
+//!     Schema-check an existing BENCH_service.json (CI smoke); also fails
+//!     on any recorded comparator violation.
+//! ```
+
+use egobtw_service::catalog::Mode;
+use egobtw_service::loadgen::{self, DatasetSpec, LoadgenConfig, Target};
+use egobtw_service::server::{connect_with_retry, roundtrip};
+use egobtw_service::Service;
+use std::io::Read;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("egobtw-cli: {msg}");
+    std::process::exit(2);
+}
+
+fn run_script(argv: &[String]) -> i32 {
+    let mut connect = None;
+    let mut expect_ok = false;
+    let mut file = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" => {
+                connect = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--expect-ok" => {
+                expect_ok = true;
+                i += 1;
+            }
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.to_string());
+                i += 1;
+            }
+            other => fail(&format!("script: unknown flag {other:?}")),
+        }
+    }
+    let Some(addr) = connect else {
+        fail("script needs --connect ADDR");
+    };
+    let text = match file {
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path:?}: {e}")))
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(&format!("read stdin: {e}")));
+            buf
+        }
+    };
+    let (mut reader, mut writer) = connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    let mut saw_err = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("> {line}");
+        match roundtrip(&mut reader, &mut writer, line) {
+            Ok(response) => {
+                for rline in response.lines() {
+                    println!("{rline}");
+                    if rline.starts_with("ERR") {
+                        saw_err = true;
+                    }
+                }
+            }
+            Err(e) => fail(&format!("i/o on {addr}: {e}")),
+        }
+    }
+    i32::from(expect_ok && saw_err)
+}
+
+fn run_loadgen(argv: &[String]) -> i32 {
+    let mut cfg = LoadgenConfig::default();
+    let mut connect: Option<String> = None;
+    let mut out = "BENCH_service.json".to_string();
+    let mut validate_path: Option<String> = None;
+    let mut expect_datasets = 1usize;
+    let mut specs: Vec<DatasetSpec> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", argv[i])))
+        };
+        let parse_or_die = |flag: &str, s: &str| -> f64 {
+            s.parse()
+                .unwrap_or_else(|_| fail(&format!("{flag}: bad number {s:?}")))
+        };
+        match argv[i].as_str() {
+            "--connect" => connect = Some(value(i).clone()),
+            "--threads" => cfg.threads = parse_or_die("--threads", value(i)) as usize,
+            "--ops" => cfg.ops = parse_or_die("--ops", value(i)) as usize,
+            "--write-frac" => cfg.write_frac = parse_or_die("--write-frac", value(i)),
+            "--k" => cfg.k = parse_or_die("--k", value(i)) as usize,
+            "--batch" => cfg.batch = parse_or_die("--batch", value(i)) as usize,
+            "--seed" => cfg.seed = parse_or_die("--seed", value(i)) as u64,
+            "--check" => {
+                cfg.check = true;
+                i += 1;
+                continue;
+            }
+            "--out" => out = value(i).clone(),
+            "--validate" => validate_path = Some(value(i).clone()),
+            "--expect-datasets" => {
+                expect_datasets = parse_or_die("--expect-datasets", value(i)) as usize
+            }
+            "--dataset" => {
+                let spec = value(i);
+                let (name, rest) = spec
+                    .split_once('=')
+                    .unwrap_or_else(|| fail(&format!("--dataset {spec:?}: NAME=PATH[:MODE]")));
+                let (path, mode) = Mode::split_path_mode(rest);
+                let g0 = match egobtw_service::service::read_graph_file(&path) {
+                    Ok(g) => g,
+                    Err(e) => fail(&format!("--dataset {name}: {e}")),
+                };
+                specs.push(DatasetSpec {
+                    name: name.to_string(),
+                    g0,
+                    path: Some(path),
+                    mode,
+                });
+            }
+            "--gen" => {
+                let spec = value(i);
+                let (name, rest) = spec.split_once('=').unwrap_or_else(|| {
+                    fail(&format!("--gen {spec:?}: NAME=FAMILY:SCALE:SEED[:MODE]"))
+                });
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() < 3 {
+                    fail(&format!("--gen {spec:?}: NAME=FAMILY:SCALE:SEED[:MODE]"));
+                }
+                let family = parts[0];
+                let scale: f64 = parse_or_die("--gen scale", parts[1]);
+                let seed = parse_or_die("--gen seed", parts[2]) as u64;
+                let mode = if parts.len() > 3 {
+                    Mode::parse(&parts[3..].join(":"))
+                        .unwrap_or_else(|e| fail(&format!("--gen {spec:?}: {e}")))
+                } else {
+                    Mode::default()
+                };
+                let g0 = egobtw_gen::synth_family(family, scale, seed)
+                    .unwrap_or_else(|e| fail(&format!("--gen {name}: {e}")));
+                specs.push(DatasetSpec {
+                    name: name.to_string(),
+                    g0,
+                    path: None,
+                    mode,
+                });
+            }
+            other => fail(&format!("loadgen: unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+
+    if let Some(path) = validate_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path:?}: {e}")));
+        let doc = egobtw_bench::json::Json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("{path:?}: not JSON: {e}")));
+        return match loadgen::validate(&doc, expect_datasets) {
+            Ok(()) => {
+                println!("{path}: schema OK ({expect_datasets}+ dataset records)");
+                0
+            }
+            Err(e) => {
+                eprintln!("egobtw-cli: {path}: {e}");
+                1
+            }
+        };
+    }
+
+    if specs.is_empty() {
+        fail("loadgen needs --dataset or --gen (or --validate)");
+    }
+    let service_holder;
+    let target = match &connect {
+        Some(addr) => Target::Tcp(addr.clone()),
+        None => {
+            service_holder = Service::new();
+            Target::InProc(&service_holder)
+        }
+    };
+    match loadgen::run(&target, &cfg, &specs) {
+        Ok(doc) => {
+            let mut text = doc.pretty();
+            text.push('\n');
+            std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out:?}: {e}")));
+            let mut violations = 0.0;
+            if let Some(datasets) = doc.get("datasets").and_then(|d| d.as_arr()) {
+                for ds in datasets {
+                    if let Some(v) = ds
+                        .get("comparator")
+                        .and_then(|c| c.get("violations"))
+                        .and_then(|v| v.as_num())
+                    {
+                        violations += v;
+                    }
+                }
+            }
+            println!(
+                "wrote {out} ({} dataset(s), {} comparator violation(s))",
+                specs.len(),
+                violations
+            );
+            i32::from(violations > 0.0)
+        }
+        Err(e) => {
+            eprintln!("egobtw-cli: loadgen: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("script") => run_script(&argv[1..]),
+        Some("loadgen") => run_loadgen(&argv[1..]),
+        _ => {
+            eprintln!("usage: egobtw-cli <script|loadgen> [flags] (see --bin source header)");
+            2
+        }
+    };
+    std::process::exit(code);
+}

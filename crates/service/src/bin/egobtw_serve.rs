@@ -1,0 +1,98 @@
+//! `egobtw-serve` — the top-k ego-betweenness query daemon.
+//!
+//! ```text
+//! cargo run --release -p egobtw-service --bin egobtw-serve -- [flags]
+//!
+//! flags:
+//!   --listen ADDR        bind address (default 127.0.0.1:7878; port 0 = OS pick)
+//!   --threads N          worker pool size = max concurrent connections (default 8)
+//!   --load NAME=PATH[:MODE]   preload a dataset (repeatable; MODE as in LOAD)
+//! ```
+//!
+//! Prints one `listening on <addr>` line once the socket is bound (CI and
+//! scripts wait for it), then serves until killed.
+
+use egobtw_service::catalog::Mode;
+use egobtw_service::{Server, Service};
+use std::sync::Arc;
+
+struct Args {
+    listen: String,
+    threads: usize,
+    preload: Vec<(String, String, Mode)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        listen: "127.0.0.1:7878".into(),
+        threads: 8,
+        preload: Vec::new(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--listen" => args.listen = value(i)?.clone(),
+            "--threads" => {
+                args.threads = value(i)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--load" => {
+                let spec = value(i)?;
+                let (name, rest) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--load {spec:?}: expected NAME=PATH[:MODE]"))?;
+                let (path, mode) = Mode::split_path_mode(rest);
+                args.preload.push((name.to_string(), path, mode));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if args.threads == 0 {
+        return Err("--threads must be ≥ 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("egobtw-serve: {e}");
+            eprintln!(
+                "usage: egobtw-serve [--listen ADDR] [--threads N] [--load NAME=PATH[:MODE]]..."
+            );
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(Service::new());
+    for (name, path, mode) in &args.preload {
+        match service.load_path(name, path, *mode) {
+            Ok(reply) => println!("{}", reply.render()),
+            Err(e) => {
+                eprintln!("egobtw-serve: preload {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let server = match Server::spawn(service, args.listen.as_str(), args.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("egobtw-serve: bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "listening on {} (threads={})",
+        server.local_addr(),
+        args.threads
+    );
+    // Serve until killed: park this thread forever.
+    loop {
+        std::thread::park();
+    }
+}

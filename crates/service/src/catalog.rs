@@ -1,0 +1,559 @@
+//! Graph catalog: named datasets with epoch-swapped immutable snapshots.
+//!
+//! Each [`Dataset`] is split into a writer side and a reader side:
+//!
+//! * the **writer** — a dynamic maintainer ([`LocalIndex`] or
+//!   [`LazyTopK`]) behind a `Mutex`, owning the mutable graph. Update
+//!   batches go through the maintainer's incremental path, then a fresh
+//!   immutable CSR snapshot is built and published;
+//! * the **reader** — an `RwLock<Arc<EpochSnapshot>>` holding the current
+//!   epoch. Readers clone the `Arc` under a momentary read lock and then
+//!   work entirely on immutable data, so a slow query never sees a
+//!   half-applied batch and a slow writer never blocks query threads
+//!   (the write lock is held only for the pointer swap).
+//!
+//! Every snapshot carries its own result cache; publishing a new epoch
+//! abandons the old snapshot (and its cache) to the readers still holding
+//! it, which makes cache invalidation structural — there is no way to
+//! serve a stale cached answer for the current epoch.
+//!
+//! The two maintainer modes trade differently, which is the point of the
+//! paper's Algorithm 5 vs 6 in a serving context: [`Mode::Local`] keeps
+//! every score exact (any `k` is served straight from the index);
+//! [`Mode::Lazy`] defers recomputation, so a snapshot published after
+//! deletes may carry no exact maintained top-k — the service then decides
+//! *when* to pay the refresh via [`Dataset::refresh_maintained`]
+//! ([`LazyTopK::peek_top_k`] tells it whether the cost is due at all).
+
+use egobtw_core::registry::topk_from_scores;
+use egobtw_dynamic::{EdgeOp, LazyTopK, LocalIndex};
+use egobtw_graph::{CsrGraph, FxHashMap, VertexId};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// How many maintained entries a [`Mode::Local`] dataset publishes into
+/// each snapshot (requests with `k` at most this are answered without
+/// touching an engine or the writer lock).
+pub const DEFAULT_PUBLISH_K: usize = 64;
+
+/// Maintainer choice for a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Exact local updates (Algorithm 5): all scores maintained; each
+    /// snapshot publishes the top-`publish_k` entries.
+    Local {
+        /// How many entries each snapshot publishes.
+        publish_k: usize,
+    },
+    /// Lazy maintenance (Algorithm 6) at a fixed `k`: snapshots publish
+    /// exact entries only when the maintained set happens to be fully
+    /// fresh; otherwise the refresh cost is deferred to the first reader
+    /// that needs exact values.
+    Lazy {
+        /// The maintained `k`.
+        k: usize,
+    },
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::Local {
+            publish_k: DEFAULT_PUBLISH_K,
+        }
+    }
+}
+
+impl Mode {
+    /// Parses the wire form: `local`, `local:K`, or `lazy:K`.
+    pub fn parse(text: &str) -> Result<Mode, String> {
+        let parse_k = |s: &str| s.parse::<usize>().map_err(|_| format!("bad mode k {s:?}"));
+        if text == "local" {
+            Ok(Mode::default())
+        } else if let Some(k) = text.strip_prefix("local:") {
+            Ok(Mode::Local {
+                publish_k: parse_k(k)?,
+            })
+        } else if let Some(k) = text.strip_prefix("lazy:") {
+            let k = parse_k(k)?;
+            if k == 0 {
+                return Err("lazy:k needs k ≥ 1".into());
+            }
+            Ok(Mode::Lazy { k })
+        } else {
+            Err(format!(
+                "bad mode {text:?}: expected local, local:K, or lazy:K"
+            ))
+        }
+    }
+
+    /// The wire form parsed by [`Mode::parse`].
+    pub fn render(&self) -> String {
+        match self {
+            Mode::Local { publish_k } => format!("local:{publish_k}"),
+            Mode::Lazy { k } => format!("lazy:{k}"),
+        }
+    }
+
+    /// Splits a CLI `PATH[:MODE]` spec, trying the longest mode suffix
+    /// first (`…:lazy:8` before `…:local`) so paths containing `:` still
+    /// work. Shared by `egobtw-serve --load` and `egobtw-cli --dataset`.
+    pub fn split_path_mode(rest: &str) -> (String, Mode) {
+        let segments: Vec<&str> = rest.split(':').collect();
+        for take in [2usize, 1] {
+            if segments.len() > take {
+                let suffix = segments[segments.len() - take..].join(":");
+                if let Ok(mode) = Mode::parse(&suffix) {
+                    return (rest[..rest.len() - suffix.len() - 1].to_string(), mode);
+                }
+            }
+        }
+        (rest.to_string(), Mode::default())
+    }
+}
+
+/// Cache key for one hot query at one epoch.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub enum CacheKey {
+    /// A top-k answer under a named engine (`auto` included).
+    TopK {
+        /// Engine name.
+        engine: String,
+        /// Requested k.
+        k: usize,
+    },
+    /// One vertex's exact score.
+    Score(VertexId),
+}
+
+/// Shared, immutable ranked entries — the currency of the result cache.
+pub type SharedEntries = Arc<Vec<(VertexId, f64)>>;
+
+/// One immutable published epoch of a dataset.
+pub struct EpochSnapshot {
+    /// Epoch number: 0 at load, +1 per published update batch.
+    pub epoch: u64,
+    /// The graph at this epoch.
+    pub graph: Arc<CsrGraph>,
+    /// Exact maintained top-k entries published with the snapshot, when
+    /// the maintainer had them: always for [`Mode::Local`] (length
+    /// `min(publish_k, n)`), and for [`Mode::Lazy`] only when the peek was
+    /// fully fresh at publish time.
+    pub maintained: Option<Vec<(VertexId, f64)>>,
+    /// For [`Mode::Lazy`]: how many maintained members were stale at
+    /// publish time (0 whenever `maintained` is `Some`).
+    pub stale_members: usize,
+    /// Per-epoch result cache. Dies with the snapshot, which *is* the
+    /// invalidation scheme.
+    cache: Mutex<FxHashMap<CacheKey, SharedEntries>>,
+}
+
+impl EpochSnapshot {
+    fn new(
+        epoch: u64,
+        graph: Arc<CsrGraph>,
+        maintained: Option<Vec<(VertexId, f64)>>,
+        stale_members: usize,
+    ) -> Self {
+        EpochSnapshot {
+            epoch,
+            graph,
+            maintained,
+            stale_members,
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Cache lookup.
+    pub fn cache_get(&self, key: &CacheKey) -> Option<SharedEntries> {
+        self.cache.lock().unwrap().get(key).cloned()
+    }
+
+    /// Cache insert (last writer wins; all writers computed the same
+    /// answer for this epoch, so races are benign).
+    pub fn cache_put(&self, key: CacheKey, value: SharedEntries) {
+        self.cache.lock().unwrap().insert(key, value);
+    }
+}
+
+/// Writer-side state: the maintainer plus the epoch it has reached.
+enum Maintainer {
+    Local(LocalIndex),
+    Lazy(Box<LazyTopK>),
+}
+
+struct Writer {
+    maintainer: Maintainer,
+    epoch: u64,
+    /// Total ops accepted (graph actually changed) since load.
+    ops_applied: u64,
+}
+
+/// Outcome of one published update batch.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateOutcome {
+    /// Epoch of the snapshot the batch published.
+    pub epoch: u64,
+    /// Ops that changed the graph.
+    pub applied: usize,
+    /// No-op or out-of-range ops skipped (forgiving stream semantics,
+    /// matching [`egobtw_dynamic::replay_graph`]).
+    pub skipped: usize,
+    /// Vertex count after the batch.
+    pub n: usize,
+    /// Edge count after the batch.
+    pub m: usize,
+}
+
+/// A named dataset: writer-side maintainer + reader-side current snapshot.
+pub struct Dataset {
+    name: String,
+    mode: Mode,
+    writer: Mutex<Writer>,
+    current: RwLock<Arc<EpochSnapshot>>,
+    /// Cumulative cache counters (across epochs; the per-epoch caches
+    /// themselves are dropped on every publish).
+    pub cache_hits: AtomicU64,
+    /// See [`Dataset::cache_hits`].
+    pub cache_misses: AtomicU64,
+}
+
+impl Dataset {
+    /// Builds the maintainer on `g` and publishes epoch 0.
+    pub fn new(name: impl Into<String>, g: CsrGraph, mode: Mode) -> Self {
+        let (maintainer, maintained, stale) = match mode {
+            Mode::Local { publish_k } => {
+                let li = LocalIndex::new(&g);
+                let top = li.top_k(publish_k);
+                (Maintainer::Local(li), Some(top), 0)
+            }
+            Mode::Lazy { k } => {
+                let lz = LazyTopK::new(&g, k);
+                let peek = lz.peek_top_k();
+                // A fresh build is always fully exact.
+                debug_assert_eq!(peek.stale_members, 0);
+                (Maintainer::Lazy(Box::new(lz)), Some(peek.entries), 0)
+            }
+        };
+        let snapshot = EpochSnapshot::new(0, Arc::new(g), maintained, stale);
+        Dataset {
+            name: name.into(),
+            mode,
+            writer: Mutex::new(Writer {
+                maintainer,
+                epoch: 0,
+                ops_applied: 0,
+            }),
+            current: RwLock::new(Arc::new(snapshot)),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The dataset's catalog name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The maintainer mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Total ops that changed the graph since load.
+    pub fn ops_applied(&self) -> u64 {
+        self.writer.lock().unwrap().ops_applied
+    }
+
+    /// The current snapshot. The read lock is held only for the clone.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.current.read().unwrap().clone()
+    }
+
+    /// Applies one update batch through the maintainer and publishes a new
+    /// epoch. Ops whose endpoints are out of range, self-loops, duplicate
+    /// inserts, and absent deletes are counted as skipped.
+    pub fn apply_updates(&self, ops: &[EdgeOp]) -> UpdateOutcome {
+        let mut w = self.writer.lock().unwrap();
+        let n = match &w.maintainer {
+            Maintainer::Local(li) => li.graph().n(),
+            Maintainer::Lazy(lz) => lz.graph().n(),
+        };
+        let mut applied = 0usize;
+        for &op in ops {
+            let (u, v) = op.endpoints();
+            if (u as usize) >= n || (v as usize) >= n {
+                continue; // skipped: out of range
+            }
+            let changed = match &mut w.maintainer {
+                Maintainer::Local(li) => li.apply(op),
+                Maintainer::Lazy(lz) => lz.apply(op),
+            };
+            if changed {
+                applied += 1;
+            }
+        }
+        w.epoch += 1;
+        w.ops_applied += applied as u64;
+        let snapshot = self.publish_locked(&mut w);
+        let (sn, sm) = (snapshot.graph.n(), snapshot.graph.m());
+        let epoch = snapshot.epoch;
+        *self.current.write().unwrap() = snapshot;
+        UpdateOutcome {
+            epoch,
+            applied,
+            skipped: ops.len() - applied,
+            n: sn,
+            m: sm,
+        }
+    }
+
+    /// Builds the snapshot for the writer's current state. Called with the
+    /// writer lock held; the expensive part (CSR rebuild, maintained
+    /// top-k read-off) happens outside any reader-visible lock.
+    fn publish_locked(&self, w: &mut Writer) -> Arc<EpochSnapshot> {
+        let (graph, maintained, stale) = match (&mut w.maintainer, self.mode) {
+            (Maintainer::Local(li), Mode::Local { publish_k }) => {
+                (Arc::new(li.graph().to_csr()), Some(li.top_k(publish_k)), 0)
+            }
+            (Maintainer::Lazy(lz), Mode::Lazy { .. }) => {
+                let peek = lz.peek_top_k();
+                let maintained = (peek.stale_members == 0).then_some(peek.entries);
+                (
+                    Arc::new(lz.graph().to_csr()),
+                    maintained,
+                    peek.stale_members,
+                )
+            }
+            _ => unreachable!("maintainer/mode pairing is fixed at construction"),
+        };
+        Arc::new(EpochSnapshot::new(w.epoch, graph, maintained, stale))
+    }
+
+    /// Pays the deferred lazy refresh for `epoch`, if the writer is still
+    /// at that epoch: refreshes the maintained set to exact values,
+    /// republishes the snapshot (same epoch, same graph, `maintained`
+    /// filled in), and returns the entries. Returns `None` when the writer
+    /// has already moved past `epoch` (the caller falls back to running an
+    /// engine on its snapshot) or the dataset is not lazy.
+    pub fn refresh_maintained(&self, epoch: u64) -> Option<Vec<(VertexId, f64)>> {
+        let mut w = self.writer.lock().unwrap();
+        if w.epoch != epoch {
+            return None;
+        }
+        let Maintainer::Lazy(lz) = &mut w.maintainer else {
+            return None;
+        };
+        let entries = lz.top_k();
+        let snapshot = self.publish_locked(&mut w);
+        debug_assert_eq!(snapshot.epoch, epoch);
+        debug_assert!(snapshot.maintained.is_some());
+        *self.current.write().unwrap() = snapshot;
+        Some(entries)
+    }
+
+    /// Full exact score vector of the current writer state, computed from
+    /// the published snapshot graph (used by STATS-style introspection and
+    /// tests; not a hot path).
+    pub fn exact_topk_uncached(&self, k: usize) -> Vec<(VertexId, f64)> {
+        let snap = self.snapshot();
+        topk_from_scores(&egobtw_core::compute_all(&snap.graph).0, k)
+    }
+}
+
+/// The named-dataset catalog.
+#[derive(Default)]
+pub struct Catalog {
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a dataset built from `g`. Fails if the name is taken.
+    pub fn insert(&self, name: &str, g: CsrGraph, mode: Mode) -> Result<Arc<Dataset>, String> {
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_graphic()) {
+            return Err(format!("bad dataset name {name:?}"));
+        }
+        let mut map = self.datasets.write().unwrap();
+        if map.contains_key(name) {
+            return Err(format!("dataset {name:?} already loaded"));
+        }
+        let ds = Arc::new(Dataset::new(name, g, mode));
+        map.insert(name.to_string(), ds.clone());
+        Ok(ds)
+    }
+
+    /// Looks a dataset up.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, String> {
+        self.datasets
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no dataset {name:?} (use LOAD first)"))
+    }
+
+    /// All dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.datasets.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Removes a dataset. Readers holding its snapshots keep them alive
+    /// until they finish.
+    pub fn drop_dataset(&self, name: &str) -> Result<(), String> {
+        self.datasets
+            .write()
+            .unwrap()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| format!("no dataset {name:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_gen::classic;
+
+    #[test]
+    fn mode_parse_and_render_roundtrip() {
+        for text in ["local:64", "local:10", "lazy:8"] {
+            assert_eq!(Mode::parse(text).unwrap().render(), text);
+        }
+        assert_eq!(Mode::parse("local").unwrap(), Mode::default());
+        for bad in ["", "lazy", "lazy:0", "lazy:x", "local:", "exact"] {
+            assert!(Mode::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn split_path_mode_handles_colons_in_paths() {
+        assert_eq!(
+            Mode::split_path_mode("/tmp/a.snap:lazy:8"),
+            ("/tmp/a.snap".to_string(), Mode::Lazy { k: 8 })
+        );
+        assert_eq!(
+            Mode::split_path_mode("/tmp/a.snap:local"),
+            ("/tmp/a.snap".to_string(), Mode::default())
+        );
+        assert_eq!(
+            Mode::split_path_mode("/tmp/a.snap"),
+            ("/tmp/a.snap".to_string(), Mode::default())
+        );
+        // A ':' that is not a mode suffix stays part of the path.
+        assert_eq!(
+            Mode::split_path_mode("C:/data/a.snap"),
+            ("C:/data/a.snap".to_string(), Mode::default())
+        );
+    }
+
+    #[test]
+    fn epoch_advances_and_snapshots_are_isolated() {
+        let ds = Dataset::new("k", classic::karate_club(), Mode::default());
+        let before = ds.snapshot();
+        assert_eq!(before.epoch, 0);
+        let out = ds.apply_updates(&[EdgeOp::Insert(0, 9), EdgeOp::Insert(0, 9)]);
+        assert_eq!(out.epoch, 1);
+        assert_eq!((out.applied, out.skipped), (1, 1));
+        let after = ds.snapshot();
+        assert_eq!(after.epoch, 1);
+        // The old snapshot is untouched: readers in flight see epoch 0.
+        assert_eq!(before.epoch, 0);
+        assert_eq!(before.graph.m() + 1, after.graph.m());
+        assert!(!before.graph.has_edge(0, 9) && after.graph.has_edge(0, 9));
+    }
+
+    #[test]
+    fn out_of_range_and_self_loop_ops_are_skipped() {
+        let ds = Dataset::new("k", classic::star(5), Mode::default());
+        let out = ds.apply_updates(&[
+            EdgeOp::Insert(0, 99), // out of range
+            EdgeOp::Insert(3, 3),  // self-loop
+            EdgeOp::Delete(1, 2),  // absent
+            EdgeOp::Insert(1, 2),  // applies
+        ]);
+        assert_eq!((out.applied, out.skipped), (1, 3));
+        assert_eq!(ds.ops_applied(), 1);
+    }
+
+    #[test]
+    fn local_mode_publishes_exact_maintained_topk() {
+        let g = classic::karate_club();
+        let ds = Dataset::new("k", g.clone(), Mode::Local { publish_k: 7 });
+        let snap = ds.snapshot();
+        let maintained = snap.maintained.as_ref().unwrap();
+        assert_eq!(maintained.len(), 7);
+        let truth = topk_from_scores(&egobtw_core::compute_all(&g).0, 7);
+        for ((_, a), (_, b)) in maintained.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_mode_defers_and_refresh_republishes_same_epoch() {
+        // Deleting an edge with common neighbors leaves stale members
+        // (Example 8), so the published snapshot defers the refresh.
+        let g = egobtw_gen::toy::paper_graph();
+        let ds = Dataset::new("toy", g, Mode::Lazy { k: 12 });
+        assert!(ds.snapshot().maintained.is_some(), "fresh at load");
+        ds.apply_updates(&[EdgeOp::Delete(
+            egobtw_gen::toy::ids::C,
+            egobtw_gen::toy::ids::G,
+        )]);
+        let snap = ds.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.maintained.is_none(), "stale members defer publish");
+        assert!(snap.stale_members > 0);
+        // Paying the refresh republishes the same epoch with entries.
+        let entries = ds.refresh_maintained(1).expect("writer still at epoch 1");
+        let snap2 = ds.snapshot();
+        assert_eq!(snap2.epoch, 1);
+        assert_eq!(snap2.maintained.as_ref().unwrap(), &entries);
+        assert!(Arc::ptr_eq(&snap.graph, &snap2.graph) || snap.graph.m() == snap2.graph.m());
+        // Refresh for a stale epoch is refused.
+        ds.apply_updates(&[EdgeOp::Insert(0, 5)]);
+        assert!(ds.refresh_maintained(1).is_none());
+    }
+
+    #[test]
+    fn cache_lives_and_dies_with_the_epoch() {
+        let ds = Dataset::new("k", classic::karate_club(), Mode::default());
+        let key = CacheKey::TopK {
+            engine: "auto".into(),
+            k: 3,
+        };
+        let snap = ds.snapshot();
+        assert!(snap.cache_get(&key).is_none());
+        snap.cache_put(key.clone(), Arc::new(vec![(0, 1.0)]));
+        assert!(snap.cache_get(&key).is_some());
+        ds.apply_updates(&[EdgeOp::Insert(0, 9)]);
+        assert!(
+            ds.snapshot().cache_get(&key).is_none(),
+            "new epoch starts with an empty cache"
+        );
+    }
+
+    #[test]
+    fn catalog_insert_get_list_drop() {
+        let cat = Catalog::new();
+        cat.insert("a", classic::star(4), Mode::default()).unwrap();
+        cat.insert("b", classic::path(4), Mode::Lazy { k: 2 })
+            .unwrap();
+        assert!(cat.insert("a", classic::star(4), Mode::default()).is_err());
+        assert!(cat
+            .insert("bad name", classic::star(4), Mode::default())
+            .is_err());
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.get("b").unwrap().mode(), Mode::Lazy { k: 2 });
+        assert!(cat.get("c").is_err());
+        cat.drop_dataset("a").unwrap();
+        assert!(cat.drop_dataset("a").is_err());
+        assert_eq!(cat.names(), vec!["b".to_string()]);
+    }
+}

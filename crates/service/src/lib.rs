@@ -1,0 +1,50 @@
+//! Concurrent top-k ego-betweenness query service.
+//!
+//! This crate turns the batch library into a long-lived daemon, the
+//! setting where the paper's dynamic maintenance algorithms actually pay
+//! off: indexes absorb an edge-update stream while concurrent readers ask
+//! top-k / score / common-neighbor questions ("Scalable Online Betweenness
+//! Centrality in Evolving Graphs", Kourtellis et al., frames betweenness
+//! as exactly this serve-while-updating workload). Everything is std-only:
+//! `std::net` sockets, `std::thread` workers, `std::sync` primitives.
+//!
+//! The moving parts, bottom to top:
+//!
+//! * [`catalog`] — named datasets, each an **epoch-swapped** pair of
+//!   (writer-side dynamic maintainer, reader-side immutable
+//!   [`EpochSnapshot`]). Writers apply update batches through
+//!   [`egobtw_dynamic::LocalIndex`] or [`egobtw_dynamic::LazyTopK`], build
+//!   a fresh CSR snapshot off to the side, and publish it with one pointer
+//!   swap — readers clone an `Arc` and never block on maintenance work.
+//!   Each snapshot fronts hot queries with a result cache that dies with
+//!   its epoch, so invalidation is structural rather than tracked.
+//! * [`service`] — the in-process API: parse → execute → render, shared
+//!   (`&self`) across any number of threads. Tests, examples, and the
+//!   loadgen's in-process mode use this directly and skip sockets.
+//! * [`proto`] — the wire format: length-prefixed UTF-8 frames, one
+//!   command per line, one response line per command (grammar in
+//!   `docs/ARCHITECTURE.md`).
+//! * [`server`] — the TCP daemon: an acceptor thread feeding a fixed
+//!   worker pool over a channel; each worker owns a connection for its
+//!   lifetime.
+//! * [`loadgen`] — the load-generating client behind `egobtw-cli loadgen`:
+//!   mixed read/update workloads at configurable concurrency, latency
+//!   percentiles into `BENCH_service.json`, and an oracle-checked mode
+//!   that verifies every sampled top-k answer against a from-scratch
+//!   replay of the update stream (zero tolerance, tie-aware).
+//!
+//! Binaries: `egobtw-serve` (daemon) and `egobtw-cli` (scriptable client
+//! + loadgen). See the README serving quickstart.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use catalog::{Catalog, Dataset, EpochSnapshot, Mode};
+pub use proto::{parse_command, read_frame, write_frame, Command};
+pub use server::Server;
+pub use service::{Reply, Service};

@@ -1,0 +1,551 @@
+//! Load-generating client: mixed read/update workloads, latency
+//! percentiles, and an oracle-checked mode.
+//!
+//! One run drives each dataset with `threads` client threads: thread 0 is
+//! the single **writer** (it owns the dataset's whole update stream, so
+//! the mapping *epoch → op prefix* is well defined), the rest are
+//! **readers** issuing a TOPK-heavy query mix. With `check` on, readers
+//! sample their top-k responses and, after the run, every sampled answer
+//! is verified against a from-scratch replay of the writer's stream at
+//! that epoch — truth from [`ego_betweenness_reference`] (zero machinery
+//! shared with any engine), compared with the `conformance` crate's
+//! tie-aware comparator. A served answer that was stale, torn, or
+//! cache-leaked across epochs cannot pass.
+//!
+//! Results go to `BENCH_service.json` (schema
+//! `egobtw/bench-service/v1`), one record per dataset with throughput and
+//! read/update latency percentiles; [`validate`] is the CI schema check.
+
+use crate::catalog::Mode;
+use crate::proto::parse_entries;
+use crate::server::{connect_with_retry, roundtrip};
+use crate::service::Service;
+use conformance::{check_topk, REL_TOL};
+use egobtw_bench::json::Json;
+use egobtw_core::naive::ego_betweenness_reference;
+use egobtw_dynamic::{replay_graph, EdgeOp};
+use egobtw_graph::{CsrGraph, DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema tag written into `BENCH_service.json`.
+pub const SCHEMA: &str = "egobtw/bench-service/v1";
+
+/// Workload shape shared by every dataset in a run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Client threads per dataset (thread 0 writes, the rest read).
+    pub threads: usize,
+    /// Total operations per dataset (reads + updates).
+    pub ops: usize,
+    /// Fraction of `ops` that are edge updates (e.g. `0.1` for 90/10).
+    pub write_frac: f64,
+    /// `k` for the top-k reads.
+    pub k: usize,
+    /// Update ops per UPDATE command (one epoch per command).
+    pub batch: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Verify sampled top-k answers against the replay oracle.
+    pub check: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            threads: 4,
+            ops: 2000,
+            write_frac: 0.1,
+            k: 8,
+            batch: 2,
+            seed: 42,
+            check: false,
+        }
+    }
+}
+
+/// One dataset of a run.
+pub struct DatasetSpec {
+    /// Catalog name to load under (must be fresh for the run).
+    pub name: String,
+    /// The initial graph (also the replay base in check mode).
+    pub g0: CsrGraph,
+    /// File path to `g0`, required for TCP targets (the daemon loads the
+    /// file itself).
+    pub path: Option<String>,
+    /// Maintainer mode.
+    pub mode: Mode,
+}
+
+/// Where the load goes.
+pub enum Target<'a> {
+    /// Straight into an in-process [`Service`] (no sockets).
+    InProc(&'a Service),
+    /// A running daemon at this address.
+    Tcp(String),
+}
+
+enum Conn<'a> {
+    InProc(&'a Service),
+    Tcp(Box<(BufReader<TcpStream>, TcpStream)>),
+}
+
+impl Conn<'_> {
+    fn round(&mut self, payload: &str) -> Result<String, String> {
+        match self {
+            Conn::InProc(service) => Ok(service.handle_payload(payload)),
+            Conn::Tcp(pair) => {
+                let (reader, writer) = &mut **pair;
+                roundtrip(reader, writer, payload).map_err(|e| format!("i/o: {e}"))
+            }
+        }
+    }
+}
+
+fn open_conn<'a>(target: &'a Target<'a>) -> Result<Conn<'a>, String> {
+    match target {
+        Target::InProc(service) => Ok(Conn::InProc(service)),
+        Target::Tcp(addr) => connect_with_retry(addr, std::time::Duration::from_secs(10))
+            .map(|pair| Conn::Tcp(Box::new(pair)))
+            .map_err(|e| format!("connect {addr}: {e}")),
+    }
+}
+
+/// Pulls `key=value` out of a response line.
+fn field<'r>(reply: &'r str, key: &str) -> Result<&'r str, String> {
+    reply
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| format!("no {key}= in reply {reply:?}"))
+}
+
+fn expect_ok(reply: &str) -> Result<&str, String> {
+    if reply.starts_with("OK ") {
+        Ok(reply)
+    } else {
+        Err(format!("server said: {reply}"))
+    }
+}
+
+/// One sampled top-k answer, to be oracle-checked after the run.
+struct TopkSample {
+    epoch: u64,
+    k: usize,
+    entries: Vec<(VertexId, f64)>,
+}
+
+#[derive(Default)]
+struct ThreadLog {
+    read_ns: Vec<u64>,
+    update_ns: Vec<u64>,
+    samples: Vec<TopkSample>,
+    /// Writer only: `(epoch, ops-prefix length)` after each batch.
+    epochs: Vec<(u64, usize)>,
+}
+
+/// Per-thread workload parameters (shared fields of the two loops).
+struct WorkerPlan<'a> {
+    name: &'a str,
+    n: usize,
+    k: usize,
+    seed: u64,
+    check: bool,
+    sample_every: usize,
+}
+
+fn writer_loop(
+    conn: &mut Conn<'_>,
+    plan: &WorkerPlan<'_>,
+    updates: usize,
+    batch: usize,
+    mirror: &mut DynGraph,
+    ops_log: &mut Vec<EdgeOp>,
+) -> Result<ThreadLog, String> {
+    let (name, n) = (plan.name, plan.n);
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xE12A_11E5);
+    let mut log = ThreadLog::default();
+    let mut sent = 0usize;
+    while sent < updates {
+        let take = batch.min(updates - sent);
+        let mut payload = format!("UPDATE {name}");
+        for _ in 0..take {
+            // Pick a state-changing op against the writer's mirror.
+            let (u, v) = loop {
+                let u = rng.random_range(0..n as u32);
+                let v = rng.random_range(0..n as u32);
+                if u != v {
+                    break (u, v);
+                }
+            };
+            let op = if mirror.has_edge(u, v) {
+                payload.push_str(&format!(" -{u},{v}"));
+                EdgeOp::Delete(u, v)
+            } else {
+                payload.push_str(&format!(" +{u},{v}"));
+                EdgeOp::Insert(u, v)
+            };
+            match op {
+                EdgeOp::Insert(a, b) => mirror.insert_edge(a, b),
+                EdgeOp::Delete(a, b) => mirror.remove_edge(a, b),
+            };
+            ops_log.push(op);
+        }
+        sent += take;
+        let t0 = Instant::now();
+        let reply = conn.round(&payload)?;
+        log.update_ns.push(t0.elapsed().as_nanos() as u64);
+        let reply = expect_ok(&reply)?;
+        let epoch: u64 = field(reply, "epoch")?
+            .parse()
+            .map_err(|_| format!("bad epoch in {reply:?}"))?;
+        log.epochs.push((epoch, ops_log.len()));
+    }
+    Ok(log)
+}
+
+fn reader_loop(
+    conn: &mut Conn<'_>,
+    plan: &WorkerPlan<'_>,
+    reads: usize,
+) -> Result<ThreadLog, String> {
+    let (name, n, k) = (plan.name, plan.n, plan.k);
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut log = ThreadLog::default();
+    for i in 0..reads {
+        let roll: f64 = rng.random_range(0.0..1.0);
+        let payload = if roll < 0.8 {
+            format!("TOPK {name} {k}")
+        } else if roll < 0.9 {
+            format!("SCORE {name} {}", rng.random_range(0..n as u32))
+        } else {
+            let u = rng.random_range(0..n as u32);
+            let v = rng.random_range(0..n as u32);
+            format!("COMMON {name} {u} {v}")
+        };
+        let t0 = Instant::now();
+        let reply = conn.round(&payload)?;
+        log.read_ns.push(t0.elapsed().as_nanos() as u64);
+        let reply = expect_ok(&reply)?;
+        if plan.check && payload.starts_with("TOPK") && i % plan.sample_every == 0 {
+            log.samples.push(TopkSample {
+                epoch: field(reply, "epoch")?
+                    .parse()
+                    .map_err(|_| format!("bad epoch in {reply:?}"))?,
+                k,
+                entries: parse_entries(field(reply, "entries")?)?,
+            });
+        }
+    }
+    Ok(log)
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1000.0
+}
+
+fn latency_json(mut ns: Vec<u64>) -> Json {
+    ns.sort_unstable();
+    Json::Obj(vec![
+        ("count".into(), Json::Num(ns.len() as f64)),
+        ("p50_us".into(), Json::Num(percentile_us(&ns, 0.50))),
+        ("p90_us".into(), Json::Num(percentile_us(&ns, 0.90))),
+        ("p99_us".into(), Json::Num(percentile_us(&ns, 0.99))),
+        (
+            "max_us".into(),
+            Json::Num(ns.last().map_or(0.0, |&x| x as f64 / 1000.0)),
+        ),
+    ])
+}
+
+/// Oracle check: verify every sampled top-k answer against a replay of
+/// the writer's op stream at the answer's epoch. Returns violation
+/// messages (empty = clean).
+fn check_samples(
+    g0: &CsrGraph,
+    ops: &[EdgeOp],
+    epoch_prefix: &HashMap<u64, usize>,
+    samples: &[TopkSample],
+) -> Vec<String> {
+    let mut truth_by_epoch: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut violations = Vec::new();
+    for s in samples {
+        let Some(&prefix) = epoch_prefix.get(&s.epoch) else {
+            violations.push(format!("answer cites unknown epoch {}", s.epoch));
+            continue;
+        };
+        let truth = truth_by_epoch.entry(s.epoch).or_insert_with(|| {
+            let g = replay_graph(g0, &ops[..prefix]).to_csr();
+            (0..g.n() as VertexId)
+                .map(|v| ego_betweenness_reference(&g, v))
+                .collect()
+        });
+        if let Err(e) = check_topk(truth, &s.entries, s.k, REL_TOL) {
+            violations.push(format!("epoch {}: {e}", s.epoch));
+        }
+    }
+    violations
+}
+
+/// Runs the workload against one dataset and returns its JSON record.
+fn run_dataset(
+    target: &Target<'_>,
+    cfg: &LoadgenConfig,
+    spec: &DatasetSpec,
+) -> Result<Json, String> {
+    // Load the dataset into the target.
+    match target {
+        Target::InProc(service) => {
+            service
+                .load_graph(&spec.name, spec.g0.clone(), spec.mode)
+                .map(|_| ())?;
+        }
+        Target::Tcp(_) => {
+            let path = spec
+                .path
+                .as_ref()
+                .ok_or("TCP loadgen needs a dataset file path")?;
+            let mut conn = open_conn(target)?;
+            let reply = conn.round(&format!(
+                "LOAD {} {} {}",
+                spec.name,
+                path,
+                spec.mode.render()
+            ))?;
+            expect_ok(&reply)?;
+        }
+    }
+
+    let n = spec.g0.n();
+    if n < 2 {
+        return Err(format!("dataset {} too small to drive", spec.name));
+    }
+    let updates = ((cfg.ops as f64 * cfg.write_frac).round() as usize).min(cfg.ops);
+    let reads = cfg.ops - updates;
+    let reader_threads = cfg.threads.saturating_sub(1).max(1);
+    let sample_every = (reads / (64 * reader_threads)).max(1);
+
+    let mut ops_log: Vec<EdgeOp> = Vec::with_capacity(updates);
+    let mut mirror = DynGraph::from_csr(&spec.g0);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let reader_logs: Mutex<Vec<ThreadLog>> = Mutex::new(Vec::new());
+    let mut writer_log = ThreadLog::default();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        // Readers.
+        for t in 0..reader_threads {
+            let share = reads / reader_threads + usize::from(t < reads % reader_threads);
+            let (errors, reader_logs) = (&errors, &reader_logs);
+            let name = spec.name.clone();
+            let (seed, k, check) = (cfg.seed, cfg.k, cfg.check);
+            scope.spawn(move || {
+                let plan = WorkerPlan {
+                    name: &name,
+                    n,
+                    k,
+                    seed: seed ^ ((t as u64 + 1) * 0x9E37_79B9),
+                    check,
+                    sample_every,
+                };
+                let run =
+                    open_conn(target).and_then(|mut conn| reader_loop(&mut conn, &plan, share));
+                match run {
+                    Ok(log) => reader_logs.lock().unwrap().push(log),
+                    Err(e) => errors.lock().unwrap().push(format!("reader {t}: {e}")),
+                }
+            });
+        }
+        // Writer (runs on this thread so it can borrow the mirror/log).
+        if updates > 0 {
+            let plan = WorkerPlan {
+                name: &spec.name,
+                n,
+                k: cfg.k,
+                seed: cfg.seed,
+                check: cfg.check,
+                sample_every,
+            };
+            let run = open_conn(target).and_then(|mut conn| {
+                writer_loop(
+                    &mut conn,
+                    &plan,
+                    updates,
+                    cfg.batch.max(1),
+                    &mut mirror,
+                    &mut ops_log,
+                )
+            });
+            match run {
+                Ok(log) => writer_log = log,
+                Err(e) => errors.lock().unwrap().push(format!("writer: {e}")),
+            }
+        }
+    });
+    let wall = t0.elapsed();
+
+    let errors = errors.into_inner().unwrap();
+    if let Some(first) = errors.first() {
+        return Err(format!("{} worker error(s), first: {first}", errors.len()));
+    }
+
+    let mut read_ns = Vec::new();
+    let mut samples = Vec::new();
+    for log in reader_logs.into_inner().unwrap() {
+        read_ns.extend(log.read_ns);
+        samples.extend(log.samples);
+    }
+
+    let (checked, violations) = if cfg.check {
+        let mut epoch_prefix: HashMap<u64, usize> = writer_log.epochs.iter().copied().collect();
+        epoch_prefix.insert(0, 0); // the pre-update epoch
+        let violations = check_samples(&spec.g0, &ops_log, &epoch_prefix, &samples);
+        for v in &violations {
+            eprintln!("loadgen[{}]: COMPARATOR VIOLATION: {v}", spec.name);
+        }
+        (samples.len(), violations.len())
+    } else {
+        (0, 0)
+    };
+
+    let total_ops = read_ns.len() + writer_log.update_ns.len();
+    let throughput = total_ops as f64 / wall.as_secs_f64().max(1e-9);
+    Ok(Json::Obj(vec![
+        ("name".into(), Json::Str(spec.name.clone())),
+        ("n".into(), Json::Num(n as f64)),
+        ("m".into(), Json::Num(spec.g0.m() as f64)),
+        ("mode".into(), Json::Str(spec.mode.render())),
+        ("threads".into(), Json::Num(cfg.threads as f64)),
+        ("reads".into(), Json::Num(read_ns.len() as f64)),
+        (
+            "updates".into(),
+            Json::Num(writer_log.update_ns.len() as f64),
+        ),
+        (
+            "epochs_published".into(),
+            Json::Num(writer_log.epochs.len() as f64),
+        ),
+        ("wall_ms".into(), Json::Num(wall.as_secs_f64() * 1000.0)),
+        ("throughput_ops_per_sec".into(), Json::Num(throughput)),
+        ("read_latency".into(), latency_json(read_ns)),
+        ("update_latency".into(), latency_json(writer_log.update_ns)),
+        (
+            "comparator".into(),
+            Json::Obj(vec![
+                ("checked".into(), Json::Num(checked as f64)),
+                ("violations".into(), Json::Num(violations as f64)),
+            ]),
+        ),
+    ]))
+}
+
+/// Runs the full workload: every dataset in `specs`, one after another
+/// (each gets the configured thread count to itself), returning the
+/// `BENCH_service.json` document. Fails on any worker error; comparator
+/// violations are *reported in the document*, not fatal, so the caller
+/// (CI) can assert on them explicitly.
+pub fn run(
+    target: &Target<'_>,
+    cfg: &LoadgenConfig,
+    specs: &[DatasetSpec],
+) -> Result<Json, String> {
+    if specs.is_empty() {
+        return Err("loadgen needs at least one dataset".into());
+    }
+    let mut datasets = Vec::new();
+    for spec in specs {
+        datasets.push(run_dataset(target, cfg, spec)?);
+    }
+    Ok(Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(cfg.threads as f64)),
+                ("ops".into(), Json::Num(cfg.ops as f64)),
+                ("write_frac".into(), Json::Num(cfg.write_frac)),
+                ("k".into(), Json::Num(cfg.k as f64)),
+                ("batch".into(), Json::Num(cfg.batch as f64)),
+                ("seed".into(), Json::Num(cfg.seed as f64)),
+                ("check".into(), Json::Bool(cfg.check)),
+                (
+                    "target".into(),
+                    Json::Str(match target {
+                        Target::InProc(_) => "inproc".into(),
+                        Target::Tcp(addr) => format!("tcp:{addr}"),
+                    }),
+                ),
+            ]),
+        ),
+        ("datasets".into(), Json::Arr(datasets)),
+    ]))
+}
+
+/// Schema check for a `BENCH_service.json` document: the right schema
+/// tag, at least `min_datasets` records, and every record carrying
+/// finite, sane core metrics. Returns the first problem found.
+pub fn validate(doc: &Json, min_datasets: usize) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag is not {SCHEMA:?}"));
+    }
+    let datasets = doc
+        .get("datasets")
+        .and_then(Json::as_arr)
+        .ok_or("no datasets array")?;
+    if datasets.len() < min_datasets {
+        return Err(format!(
+            "{} dataset record(s), expected at least {min_datasets}",
+            datasets.len()
+        ));
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let name = ds
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("dataset {i}: no name"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            ds.get(key)
+                .and_then(Json::as_num)
+                .filter(|x| x.is_finite())
+                .ok_or(format!("dataset {name:?}: missing/non-finite {key}"))
+        };
+        if num("throughput_ops_per_sec")? <= 0.0 {
+            return Err(format!("dataset {name:?}: non-positive throughput"));
+        }
+        num("wall_ms")?;
+        num("reads")?;
+        num("updates")?;
+        for class in ["read_latency", "update_latency"] {
+            let lat = ds
+                .get(class)
+                .ok_or(format!("dataset {name:?}: missing {class}"))?;
+            for key in ["count", "p50_us", "p90_us", "p99_us", "max_us"] {
+                lat.get(key)
+                    .and_then(Json::as_num)
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or(format!("dataset {name:?}: bad {class}.{key}"))?;
+            }
+        }
+        let comp = ds
+            .get("comparator")
+            .ok_or(format!("dataset {name:?}: missing comparator"))?;
+        let violations = comp
+            .get("violations")
+            .and_then(Json::as_num)
+            .ok_or(format!("dataset {name:?}: missing comparator.violations"))?;
+        if violations != 0.0 {
+            return Err(format!(
+                "dataset {name:?}: {violations} comparator violation(s)"
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,422 @@
+//! Wire protocol: length-prefixed frames and the command grammar.
+//!
+//! A frame is an ASCII decimal byte length, a newline, then exactly that
+//! many bytes of UTF-8 payload. A request payload holds one command per
+//! line (a *batch*); the response payload holds exactly one line per
+//! command, in order, each starting with `OK` or `ERR`. The length prefix
+//! makes batches self-delimiting without escaping, and keeping the payload
+//! line-oriented text keeps sessions scriptable and debuggable by hand.
+//!
+//! Command grammar (whitespace-separated tokens):
+//!
+//! ```text
+//! LOAD   <name> <path> [local[:K] | lazy:<k>]   load a dataset file
+//! TOPK   <name> <k> [engine]                    top-k (engine: auto | registry name)
+//! SCORE  <name> <v>...                          exact CB of named vertices
+//! COMMON <name> <u> <v>                         common neighbors
+//! UPDATE <name> (+u,v | -u,v)...                apply an edge-op batch
+//! STATS  <name>                                 dataset counters
+//! LIST                                          catalog contents
+//! DROP   <name>                                 remove a dataset
+//! PING                                          liveness probe
+//! ```
+
+use crate::catalog::Mode;
+use egobtw_dynamic::EdgeOp;
+use egobtw_graph::VertexId;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation happens (a garbage prefix must not OOM the
+/// server).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one frame: decimal length, `\n`, payload. Assembled into one
+/// buffer and written with a single call, so a frame is one TCP segment
+/// on the wire (two small writes through a Nagle-enabled socket cost a
+/// delayed-ACK round trip per frame).
+pub fn write_frame<W: Write>(mut w: W, payload: &str) -> io::Result<()> {
+    let mut buf = String::with_capacity(payload.len() + 12);
+    buf.push_str(&payload.len().to_string());
+    buf.push('\n');
+    buf.push_str(payload);
+    w.write_all(buf.as_bytes())?;
+    w.flush()
+}
+
+/// Longest accepted length-prefix line, newline included (24 digits is
+/// far beyond any length [`MAX_FRAME`] admits). The prefix read is capped
+/// at this so a peer streaming junk with no newline cannot grow the line
+/// buffer without bound.
+const MAX_LEN_LINE: u64 = 24;
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary; a connection dying mid-frame is an error.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_line = String::new();
+    // UFCS pins `take` to the `&mut R` impl (plain `.take()` would
+    // auto-deref and try to move `R` itself out of the reference).
+    if <&mut R as io::Read>::take(&mut *r, MAX_LEN_LINE).read_line(&mut len_line)? == 0 {
+        return Ok(None);
+    }
+    if !len_line.ends_with('\n') && len_line.len() as u64 == MAX_LEN_LINE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix too long",
+        ));
+    }
+    let len: usize = len_line
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length prefix"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// One parsed request command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Load a dataset from an edge-list or binary-snapshot file.
+    Load {
+        /// Catalog name to register under.
+        name: String,
+        /// Filesystem path; the format is sniffed from the magic bytes.
+        path: String,
+        /// Maintainer mode.
+        mode: Mode,
+    },
+    /// Top-k query.
+    Topk {
+        /// Dataset name.
+        name: String,
+        /// How many entries.
+        k: usize,
+        /// `auto` (maintained index / cache / default engine) or a
+        /// registry engine name such as `core::compute_all`.
+        engine: String,
+    },
+    /// Exact ego-betweenness of specific vertices.
+    Score {
+        /// Dataset name.
+        name: String,
+        /// Vertices to score.
+        vertices: Vec<VertexId>,
+    },
+    /// Common-neighbor query.
+    Common {
+        /// Dataset name.
+        name: String,
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+    /// Apply a batch of edge updates; publishes one new epoch.
+    Update {
+        /// Dataset name.
+        name: String,
+        /// The ops, in order.
+        ops: Vec<EdgeOp>,
+    },
+    /// Dataset counters (size, epoch, cache hit rates, …).
+    Stats {
+        /// Dataset name.
+        name: String,
+    },
+    /// List the catalog.
+    List,
+    /// Drop a dataset.
+    Drop {
+        /// Dataset name.
+        name: String,
+    },
+    /// Liveness probe; replies `OK pong`.
+    Ping,
+}
+
+fn parse_vertex(tok: &str) -> Result<VertexId, String> {
+    tok.parse::<VertexId>()
+        .map_err(|_| format!("bad vertex id {tok:?}"))
+}
+
+fn parse_op(tok: &str) -> Result<EdgeOp, String> {
+    let (insert, rest) = if let Some(r) = tok.strip_prefix('+') {
+        (true, r)
+    } else if let Some(r) = tok.strip_prefix('-') {
+        (false, r)
+    } else {
+        return Err(format!("bad op {tok:?}: must start with + or -"));
+    };
+    let (us, vs) = rest
+        .split_once(',')
+        .ok_or_else(|| format!("bad op {tok:?}: expected +u,v or -u,v"))?;
+    let (u, v) = (parse_vertex(us)?, parse_vertex(vs)?);
+    Ok(if insert {
+        EdgeOp::Insert(u, v)
+    } else {
+        EdgeOp::Delete(u, v)
+    })
+}
+
+/// Parses one command line. Verbs are case-sensitive uppercase, matching
+/// the grammar in the module docs.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut it = line.split_whitespace();
+    let verb = it.next().ok_or("empty command")?;
+    let cmd = match verb {
+        "LOAD" => {
+            let name = it.next().ok_or("LOAD needs a name")?.to_string();
+            let path = it.next().ok_or("LOAD needs a path")?.to_string();
+            let mode = match it.next() {
+                Some(m) => Mode::parse(m)?,
+                None => Mode::default(),
+            };
+            Command::Load { name, path, mode }
+        }
+        "TOPK" => {
+            let name = it.next().ok_or("TOPK needs a name")?.to_string();
+            let k = it
+                .next()
+                .ok_or("TOPK needs k")?
+                .parse::<usize>()
+                .map_err(|e| format!("bad k: {e}"))?;
+            // The engine name is the rest of the line: registry names can
+            // contain single spaces (`core::opt_search(θ=1.05, degree-relabel)`).
+            let rest: Vec<&str> = it.by_ref().collect();
+            let engine = if rest.is_empty() {
+                "auto".to_string()
+            } else {
+                rest.join(" ")
+            };
+            Command::Topk { name, k, engine }
+        }
+        "SCORE" => {
+            let name = it.next().ok_or("SCORE needs a name")?.to_string();
+            let vertices: Vec<VertexId> =
+                it.by_ref().map(parse_vertex).collect::<Result<_, _>>()?;
+            if vertices.is_empty() {
+                return Err("SCORE needs at least one vertex".into());
+            }
+            Command::Score { name, vertices }
+        }
+        "COMMON" => {
+            let name = it.next().ok_or("COMMON needs a name")?.to_string();
+            let u = parse_vertex(it.next().ok_or("COMMON needs u")?)?;
+            let v = parse_vertex(it.next().ok_or("COMMON needs v")?)?;
+            Command::Common { name, u, v }
+        }
+        "UPDATE" => {
+            let name = it.next().ok_or("UPDATE needs a name")?.to_string();
+            let ops: Vec<EdgeOp> = it.by_ref().map(parse_op).collect::<Result<_, _>>()?;
+            if ops.is_empty() {
+                return Err("UPDATE needs at least one op".into());
+            }
+            Command::Update { name, ops }
+        }
+        "STATS" => Command::Stats {
+            name: it.next().ok_or("STATS needs a name")?.to_string(),
+        },
+        "LIST" => Command::List,
+        "DROP" => Command::Drop {
+            name: it.next().ok_or("DROP needs a name")?.to_string(),
+        },
+        "PING" => Command::Ping,
+        other => return Err(format!("unknown verb {other:?}")),
+    };
+    // Variadic commands (SCORE, UPDATE) drained the iterator above; every
+    // fixed-arity command must have consumed the whole line too.
+    if it.next().is_some() {
+        return Err(format!("trailing tokens after {verb}"));
+    }
+    Ok(cmd)
+}
+
+/// Renders score entries as the wire form `v:score,v:score,…`. Scores use
+/// Rust's shortest-roundtrip `f64` formatting, so parsing them back is
+/// exact.
+pub fn format_entries(entries: &[(VertexId, f64)]) -> String {
+    let mut out = String::new();
+    for (i, (v, s)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}:{s}"));
+    }
+    out
+}
+
+/// Parses the wire form produced by [`format_entries`]. An empty string is
+/// an empty list.
+pub fn parse_entries(text: &str) -> Result<Vec<(VertexId, f64)>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|item| {
+            let (v, s) = item
+                .split_once(':')
+                .ok_or_else(|| format!("bad entry {item:?}"))?;
+            Ok((
+                parse_vertex(v)?,
+                s.parse::<f64>().map_err(|_| format!("bad score {s:?}"))?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frame_roundtrip_including_empty_and_unicode() {
+        for payload in ["", "TOPK g 5", "LIST\nPING", "héllo ↑"] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, payload).unwrap();
+            let mut r = BufReader::new(buf.as_slice());
+            assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(payload));
+            assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after frame");
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").unwrap();
+        write_frame(&mut buf, "LIST").unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("PING"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("LIST"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_rejects_garbage_prefix_oversize_and_truncation() {
+        let mut r = BufReader::new("x\nabc".as_bytes());
+        assert!(read_frame(&mut r).is_err());
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut r).is_err());
+        let mut r = BufReader::new("10\nshort".as_bytes());
+        assert!(read_frame(&mut r).is_err(), "mid-frame EOF is an error");
+    }
+
+    #[test]
+    fn frame_prefix_read_is_bounded() {
+        // A peer streaming digits with no newline must be rejected after
+        // MAX_LEN_LINE bytes, not buffered indefinitely.
+        let endless = "9".repeat(4096);
+        let mut r = BufReader::new(endless.as_bytes());
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(err.to_string().contains("too long"), "{err}");
+        // A newline-free prefix *shorter* than the cap is a plain EOF
+        // mid-prefix, which parses (then fails) rather than hanging.
+        let mut r = BufReader::new("123".as_bytes());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(
+            parse_command("LOAD g /tmp/x.snap lazy:8").unwrap(),
+            Command::Load {
+                name: "g".into(),
+                path: "/tmp/x.snap".into(),
+                mode: Mode::Lazy { k: 8 },
+            }
+        );
+        assert_eq!(
+            parse_command("TOPK g 5").unwrap(),
+            Command::Topk {
+                name: "g".into(),
+                k: 5,
+                engine: "auto".into()
+            }
+        );
+        assert_eq!(
+            parse_command("TOPK g 5 core::compute_all").unwrap(),
+            Command::Topk {
+                name: "g".into(),
+                k: 5,
+                engine: "core::compute_all".into()
+            }
+        );
+        assert_eq!(
+            parse_command("SCORE g 1 2 3").unwrap(),
+            Command::Score {
+                name: "g".into(),
+                vertices: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(
+            parse_command("COMMON g 0 33").unwrap(),
+            Command::Common {
+                name: "g".into(),
+                u: 0,
+                v: 33
+            }
+        );
+        assert_eq!(
+            parse_command("UPDATE g +1,2 -0,4").unwrap(),
+            Command::Update {
+                name: "g".into(),
+                ops: vec![EdgeOp::Insert(1, 2), EdgeOp::Delete(0, 4)]
+            }
+        );
+        assert_eq!(parse_command("LIST").unwrap(), Command::List);
+        assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+        assert_eq!(
+            parse_command("  STATS   g  ").unwrap(),
+            Command::Stats { name: "g".into() }
+        );
+        assert_eq!(
+            parse_command("DROP g").unwrap(),
+            Command::Drop { name: "g".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for bad in [
+            "",
+            "  ",
+            "NOPE g",
+            "TOPK g",
+            "TOPK g five",
+            "SCORE g",
+            "SCORE g -1",
+            "COMMON g 1",
+            "COMMON g 1 2 3",
+            "UPDATE g",
+            "UPDATE g 1,2",
+            "UPDATE g +1;2",
+            "UPDATE g +1,x",
+            "LOAD g",
+            "LOAD g p weird-mode",
+            "LIST extra",
+            "DROP",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![(3u32, 11.0), (7, 9.5), (0, 1.0 / 3.0)];
+        let wire = format_entries(&entries);
+        assert_eq!(parse_entries(&wire).unwrap(), entries);
+        assert_eq!(parse_entries("").unwrap(), vec![]);
+        assert!(parse_entries("3:").is_err());
+        assert!(parse_entries("3").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! TCP daemon: an acceptor thread feeding a fixed worker pool.
+//!
+//! Deliberately boring concurrency: the acceptor pushes accepted
+//! connections into an `mpsc` channel; `threads` workers share the
+//! receiver behind a mutex and each owns one connection at a time for its
+//! whole lifetime (a connection is a session — per-frame handoff would
+//! buy nothing and cost ordering). All actual synchronization lives in
+//! the catalog's epoch swap, so the pool is just plumbing; `threads`
+//! bounds the number of concurrently served connections.
+
+use crate::proto::{read_frame, write_frame};
+use crate::service::Service;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running server: the bound address plus the handles needed to stop it.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts the
+    /// acceptor plus `threads` workers over `service`.
+    pub fn spawn<A: ToSocketAddrs>(
+        service: Arc<Service>,
+        addr: A,
+        threads: usize,
+    ) -> std::io::Result<Server> {
+        assert!(threads >= 1, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let service = service.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only for the recv itself.
+                    let stream = match rx.lock().unwrap().recv() {
+                        Ok(s) => s,
+                        Err(_) => return, // acceptor gone: drain complete
+                    };
+                    // A broken connection only ends that session, and a
+                    // panic while serving one (e.g. a malformed dataset
+                    // file tripping an assert) must not shrink the fixed
+                    // pool — contain it and take the next connection.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(&service, stream)
+                    }));
+                    if outcome.is_err() {
+                        eprintln!("egobtw-serve: worker survived a panicked session");
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return; // drops tx: workers drain and exit
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for the acceptor and all workers. Sessions
+    /// already queued are still served to completion.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection; it sees the flag before handing the stream on.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One session: frames in, framed responses out, until the client hangs
+/// up cleanly.
+fn serve_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = service.handle_payload(&payload);
+        write_frame(&mut writer, &response)?;
+    }
+    Ok(())
+}
+
+/// Client-side helper: one framed round trip on an established stream.
+pub fn roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    payload: &str,
+) -> std::io::Result<String> {
+    write_frame(&mut *writer, payload)?;
+    read_frame(reader)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )
+    })
+}
+
+/// Client-side helper: connect with retries (the daemon may still be
+/// binding when a script starts), returning the buffered reader/writer
+/// pair used by [`roundtrip`].
+pub fn connect_with_retry(
+    addr: &str,
+    max_wait: std::time::Duration,
+) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    let deadline = std::time::Instant::now() + max_wait;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok((BufReader::new(stream.try_clone()?), stream));
+            }
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! In-process query API: parse → execute → render.
+//!
+//! [`Service`] is the protocol-agnostic core the TCP server, the CLI's
+//! in-process loadgen mode, tests, and examples all share. It is `&self`
+//! throughout and internally synchronized, so one `Arc<Service>` serves
+//! any number of threads.
+//!
+//! Per-request **engine selection**: a `TOPK` request either names a
+//! registry engine (any [`egobtw_core::builtin_engines`] name, run on the
+//! request's snapshot and cached per epoch) or says `auto`, in which case
+//! the service picks the cheapest correct source in order:
+//!
+//! 1. the snapshot's **maintained** entries (published by the dynamic
+//!    maintainer — free);
+//! 2. for a lazy dataset that deferred its refresh: pay the refresh once
+//!    via [`Dataset::refresh_maintained`], which republishes the epoch
+//!    with exact entries (amortized across all subsequent readers);
+//! 3. the per-epoch **cache**;
+//! 4. the default search engine (OptBSearch, θ=1.05) on the snapshot,
+//!    cached for the epoch.
+
+use crate::catalog::{CacheKey, Catalog, Mode};
+use crate::proto::{format_entries, parse_command, Command};
+use egobtw_core::naive::ego_betweenness_of;
+use egobtw_core::opt_search::{opt_bsearch, OptParams};
+use egobtw_core::registry::{builtin_engines, RegisteredEngine};
+use egobtw_graph::io::{read_edge_list_file, read_snapshot_file, IoError, SNAPSHOT_MAGIC};
+use egobtw_graph::{CsrGraph, VertexId};
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Where a `TOPK auto` answer came from (reported on the wire so clients,
+/// tests, and the loadgen can assert cache/maintained behavior).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopkSource {
+    /// Served from the snapshot's published maintained entries.
+    Maintained,
+    /// Served by paying the deferred lazy refresh for this epoch.
+    Refreshed,
+    /// Served from the per-epoch result cache.
+    Cache,
+    /// Computed by the named engine on the snapshot (and cached).
+    Engine(String),
+}
+
+impl TopkSource {
+    fn render(&self) -> String {
+        match self {
+            TopkSource::Maintained => "maintained".into(),
+            TopkSource::Refreshed => "refreshed".into(),
+            TopkSource::Cache => "cache".into(),
+            TopkSource::Engine(name) => format!("engine({name})"),
+        }
+    }
+}
+
+/// Structured reply to one command; [`Reply::render`] is the wire form.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// LOAD succeeded.
+    Load {
+        /// Dataset name.
+        name: String,
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+        /// Maintainer mode.
+        mode: Mode,
+        /// Whether the file was a binary snapshot (vs a text edge list).
+        snapshot: bool,
+    },
+    /// TOPK answer.
+    Topk {
+        /// Dataset name.
+        name: String,
+        /// Epoch the answer is exact for.
+        epoch: u64,
+        /// Requested k.
+        k: usize,
+        /// Where the answer came from.
+        source: TopkSource,
+        /// `min(k, n)` entries, descending score.
+        entries: Arc<Vec<(VertexId, f64)>>,
+    },
+    /// SCORE answer.
+    Score {
+        /// Dataset name.
+        name: String,
+        /// Epoch the answer is exact for.
+        epoch: u64,
+        /// `(vertex, CB)` in request order.
+        entries: Vec<(VertexId, f64)>,
+        /// How many came from the per-epoch cache.
+        cached: usize,
+    },
+    /// COMMON answer.
+    Common {
+        /// Dataset name.
+        name: String,
+        /// Epoch the answer is exact for.
+        epoch: u64,
+        /// Sorted common neighbors of the two endpoints.
+        witnesses: Vec<VertexId>,
+    },
+    /// UPDATE outcome.
+    Update(
+        /// Dataset name.
+        String,
+        /// Batch outcome.
+        crate::catalog::UpdateOutcome,
+    ),
+    /// STATS counters.
+    Stats {
+        /// Dataset name.
+        name: String,
+        /// Current epoch.
+        epoch: u64,
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+        /// Maintainer mode.
+        mode: Mode,
+        /// Published maintained entries in the current snapshot (absent
+        /// for a lazy dataset that deferred its refresh).
+        maintained: Option<usize>,
+        /// Stale members at publish time (lazy only).
+        stale_members: usize,
+        /// Ops that changed the graph since load.
+        ops_applied: u64,
+        /// Cumulative cache hits.
+        cache_hits: u64,
+        /// Cumulative cache misses.
+        cache_misses: u64,
+    },
+    /// LIST answer.
+    List(
+        /// Sorted dataset names.
+        Vec<String>,
+    ),
+    /// DROP succeeded.
+    Dropped(
+        /// Dataset name.
+        String,
+    ),
+    /// PING answer.
+    Pong,
+}
+
+impl Reply {
+    /// The single response line for this reply.
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Load {
+                name,
+                n,
+                m,
+                mode,
+                snapshot,
+            } => format!(
+                "OK load name={name} n={n} m={m} mode={} format={}",
+                mode.render(),
+                if *snapshot { "snapshot" } else { "edges" }
+            ),
+            Reply::Topk {
+                name,
+                epoch,
+                k,
+                source,
+                entries,
+            } => format!(
+                "OK top name={name} epoch={epoch} k={k} source={} entries={}",
+                source.render(),
+                format_entries(entries)
+            ),
+            Reply::Score {
+                name,
+                epoch,
+                entries,
+                cached,
+            } => format!(
+                "OK score name={name} epoch={epoch} cached={cached} entries={}",
+                format_entries(entries)
+            ),
+            Reply::Common {
+                name,
+                epoch,
+                witnesses,
+            } => {
+                let list: Vec<String> = witnesses.iter().map(|w| w.to_string()).collect();
+                format!(
+                    "OK common name={name} epoch={epoch} count={} entries={}",
+                    witnesses.len(),
+                    list.join(",")
+                )
+            }
+            Reply::Update(name, out) => format!(
+                "OK update name={name} epoch={} applied={} skipped={} n={} m={}",
+                out.epoch, out.applied, out.skipped, out.n, out.m
+            ),
+            Reply::Stats {
+                name,
+                epoch,
+                n,
+                m,
+                mode,
+                maintained,
+                stale_members,
+                ops_applied,
+                cache_hits,
+                cache_misses,
+            } => format!(
+                "OK stats name={name} epoch={epoch} n={n} m={m} mode={} maintained={} \
+                 stale_members={stale_members} ops_applied={ops_applied} \
+                 cache_hits={cache_hits} cache_misses={cache_misses}",
+                mode.render(),
+                maintained.map_or_else(|| "none".into(), |l| l.to_string()),
+            ),
+            Reply::List(names) => format!("OK list datasets={}", names.join(",")),
+            Reply::Dropped(name) => format!("OK drop name={name}"),
+            Reply::Pong => "OK pong".into(),
+        }
+    }
+}
+
+/// Reads a graph file, sniffing binary snapshot vs text edge list from
+/// the magic bytes; the flag says which it was.
+pub fn read_graph_file_sniffed(path: &str) -> Result<(CsrGraph, bool), String> {
+    let is_snapshot = {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let mut magic = [0u8; 8];
+        match f.read(&mut magic) {
+            Ok(got) => got == 8 && magic == SNAPSHOT_MAGIC,
+            Err(e) => return Err(format!("read {path:?}: {e}")),
+        }
+    };
+    let bad = |e: IoError| format!("load {path:?}: {e}");
+    let g = if is_snapshot {
+        read_snapshot_file(path).map_err(bad)?.0
+    } else {
+        read_edge_list_file(path).map_err(bad)?.0
+    };
+    Ok((g, is_snapshot))
+}
+
+/// [`read_graph_file_sniffed`] without the format flag.
+pub fn read_graph_file(path: &str) -> Result<CsrGraph, String> {
+    read_graph_file_sniffed(path).map(|(g, _)| g)
+}
+
+/// The shared, internally synchronized query service.
+pub struct Service {
+    catalog: Catalog,
+    engines: Vec<RegisteredEngine>,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new()
+    }
+}
+
+impl Service {
+    /// An empty service with the full builtin engine registry.
+    pub fn new() -> Self {
+        Service {
+            catalog: Catalog::new(),
+            engines: builtin_engines(),
+        }
+    }
+
+    /// The catalog (for direct inspection in tests and tools).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers an in-memory graph, skipping the filesystem — the path
+    /// tests, examples, and in-process loadgen use.
+    pub fn load_graph(&self, name: &str, g: CsrGraph, mode: Mode) -> Result<Reply, String> {
+        let (n, m) = (g.n(), g.m());
+        self.catalog.insert(name, g, mode)?;
+        Ok(Reply::Load {
+            name: name.to_string(),
+            n,
+            m,
+            mode,
+            snapshot: false,
+        })
+    }
+
+    /// Loads a dataset file, sniffing binary snapshot vs text edge list
+    /// from the magic bytes.
+    pub fn load_path(&self, name: &str, path: &str, mode: Mode) -> Result<Reply, String> {
+        let (g, is_snapshot) = read_graph_file_sniffed(path)?;
+        let (n, m) = (g.n(), g.m());
+        self.catalog.insert(name, g, mode)?;
+        Ok(Reply::Load {
+            name: name.to_string(),
+            n,
+            m,
+            mode,
+            snapshot: is_snapshot,
+        })
+    }
+
+    fn run_engine_cached(
+        &self,
+        ds: &crate::catalog::Dataset,
+        snap: &crate::catalog::EpochSnapshot,
+        engine_name: &str,
+        k: usize,
+    ) -> Result<(crate::catalog::SharedEntries, TopkSource), String> {
+        let key = CacheKey::TopK {
+            engine: engine_name.to_string(),
+            k,
+        };
+        if let Some(hit) = snap.cache_get(&key) {
+            ds.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, TopkSource::Cache));
+        }
+        ds.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let entries: Vec<(VertexId, f64)> = if engine_name == "auto" {
+            opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries
+        } else {
+            let engine = self
+                .engines
+                .iter()
+                .find(|e| e.name() == engine_name)
+                .ok_or_else(|| format!("unknown engine {engine_name:?}"))?;
+            engine.topk(&snap.graph, k)
+        };
+        let entries = Arc::new(entries);
+        snap.cache_put(key, entries.clone());
+        let label = if engine_name == "auto" {
+            "core::opt_search(θ=1.05)".to_string()
+        } else {
+            engine_name.to_string()
+        };
+        Ok((entries, TopkSource::Engine(label)))
+    }
+
+    fn topk(&self, name: &str, k: usize, engine: &str) -> Result<Reply, String> {
+        let ds = self.catalog.get(name)?;
+        let snap = ds.snapshot();
+        let n = snap.graph.n();
+        let want = k.min(n);
+
+        let (entries, source) = if engine == "auto" {
+            // 1. Published maintained entries cover the request for free.
+            if let Some(m) = snap.maintained.as_ref().filter(|m| want <= m.len()) {
+                (Arc::new(m[..want].to_vec()), TopkSource::Maintained)
+            } else if matches!(ds.mode(), Mode::Lazy { k: lk } if want <= lk.min(n))
+                && snap.maintained.is_none()
+            {
+                // 2. Lazy dataset that deferred its refresh: pay it now.
+                match ds.refresh_maintained(snap.epoch) {
+                    Some(full) => (Arc::new(full[..want].to_vec()), TopkSource::Refreshed),
+                    // Writer already moved on; answer for *our* snapshot
+                    // via the engine path so the epoch stays truthful.
+                    None => self.run_engine_cached(&ds, &snap, "auto", k)?,
+                }
+            } else {
+                // 3./4. Cache, then the default engine.
+                self.run_engine_cached(&ds, &snap, "auto", k)?
+            }
+        } else {
+            self.run_engine_cached(&ds, &snap, engine, k)?
+        };
+        debug_assert_eq!(entries.len(), want);
+        Ok(Reply::Topk {
+            name: name.to_string(),
+            epoch: snap.epoch,
+            k,
+            source,
+            entries,
+        })
+    }
+
+    fn score(&self, name: &str, vertices: &[VertexId]) -> Result<Reply, String> {
+        let ds = self.catalog.get(name)?;
+        let snap = ds.snapshot();
+        let n = snap.graph.n();
+        let mut entries = Vec::with_capacity(vertices.len());
+        let mut cached = 0usize;
+        for &v in vertices {
+            if (v as usize) >= n {
+                return Err(format!("vertex {v} out of range (n={n})"));
+            }
+            let key = CacheKey::Score(v);
+            let score = if let Some(hit) = snap.cache_get(&key) {
+                ds.cache_hits.fetch_add(1, Ordering::Relaxed);
+                cached += 1;
+                hit[0].1
+            } else {
+                ds.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let s = ego_betweenness_of(&*snap.graph, v);
+                snap.cache_put(key, Arc::new(vec![(v, s)]));
+                s
+            };
+            entries.push((v, score));
+        }
+        Ok(Reply::Score {
+            name: name.to_string(),
+            epoch: snap.epoch,
+            entries,
+            cached,
+        })
+    }
+
+    fn common(&self, name: &str, u: VertexId, v: VertexId) -> Result<Reply, String> {
+        let ds = self.catalog.get(name)?;
+        let snap = ds.snapshot();
+        let n = snap.graph.n();
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(format!("endpoint out of range (n={n})"));
+        }
+        let mut witnesses = Vec::new();
+        if u != v {
+            snap.graph.common_neighbors_into(u, v, &mut witnesses);
+        }
+        Ok(Reply::Common {
+            name: name.to_string(),
+            epoch: snap.epoch,
+            witnesses,
+        })
+    }
+
+    fn stats(&self, name: &str) -> Result<Reply, String> {
+        let ds = self.catalog.get(name)?;
+        let snap = ds.snapshot();
+        Ok(Reply::Stats {
+            name: name.to_string(),
+            epoch: snap.epoch,
+            n: snap.graph.n(),
+            m: snap.graph.m(),
+            mode: ds.mode(),
+            maintained: snap.maintained.as_ref().map(|m| m.len()),
+            stale_members: snap.stale_members,
+            ops_applied: ds.ops_applied(),
+            cache_hits: ds.cache_hits.load(Ordering::Relaxed),
+            cache_misses: ds.cache_misses.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Executes one parsed command.
+    pub fn execute(&self, cmd: &Command) -> Result<Reply, String> {
+        match cmd {
+            Command::Load { name, path, mode } => self.load_path(name, path, *mode),
+            Command::Topk { name, k, engine } => self.topk(name, *k, engine),
+            Command::Score { name, vertices } => self.score(name, vertices),
+            Command::Common { name, u, v } => self.common(name, *u, *v),
+            Command::Update { name, ops } => {
+                let ds = self.catalog.get(name)?;
+                Ok(Reply::Update(name.clone(), ds.apply_updates(ops)))
+            }
+            Command::Stats { name } => self.stats(name),
+            Command::List => Ok(Reply::List(self.catalog.names())),
+            Command::Drop { name } => {
+                self.catalog.drop_dataset(name)?;
+                Ok(Reply::Dropped(name.clone()))
+            }
+            Command::Ping => Ok(Reply::Pong),
+        }
+    }
+
+    /// Parses and executes one line, rendering the response line (`ERR …`
+    /// on parse or execution failure — the connection stays usable).
+    pub fn handle_line(&self, line: &str) -> String {
+        match parse_command(line).and_then(|cmd| self.execute(&cmd)) {
+            Ok(reply) => reply.render(),
+            Err(e) => format!("ERR {e}"),
+        }
+    }
+
+    /// Handles one request payload: one response line per command line.
+    pub fn handle_payload(&self, payload: &str) -> String {
+        let mut out = String::new();
+        for line in payload.lines().filter(|l| !l.trim().is_empty()) {
+            out.push_str(&self.handle_line(line));
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("ERR empty request\n");
+        }
+        out.pop(); // single trailing newline off; frames carry the length
+        out
+    }
+}

@@ -1,0 +1,162 @@
+//! Conformance tie-in: a seeded `EdgeOp` stream replayed through the
+//! service's ingestion path must, at **every epoch**, answer top-k
+//! queries that match the definitional truth — the graph rebuilt by
+//! [`replay_graph`] scored by [`ego_betweenness_reference`] (zero shared
+//! machinery with any engine or maintainer), compared with the
+//! conformance crate's tie-aware comparator.
+
+use conformance::{check_topk, REL_TOL};
+use egobtw_core::naive::ego_betweenness_reference;
+use egobtw_dynamic::{replay_graph, EdgeOp};
+use egobtw_graph::{CsrGraph, VertexId};
+use egobtw_service::catalog::Mode;
+use egobtw_service::{parse_command, Reply, Service};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded op stream over `g0`'s vertices: each op flips a uniformly
+/// chosen pair against a replayed mirror of `g0`, so inserts and deletes
+/// interleave and every op is state-changing.
+fn stream(g0: &CsrGraph, len: usize, seed: u64) -> Vec<EdgeOp> {
+    let n = g0.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mirror = egobtw_graph::DynGraph::from_csr(g0);
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let op = if mirror.has_edge(u, v) {
+            mirror.remove_edge(u, v);
+            EdgeOp::Delete(u, v)
+        } else {
+            mirror.insert_edge(u, v);
+            EdgeOp::Insert(u, v)
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn reference_truth(g: &CsrGraph) -> Vec<f64> {
+    (0..g.n() as VertexId)
+        .map(|v| ego_betweenness_reference(g, v))
+        .collect()
+}
+
+fn topk_entries(service: &Service, line: &str) -> (u64, Vec<(VertexId, f64)>) {
+    let reply = service
+        .execute(&parse_command(line).unwrap())
+        .unwrap_or_else(|e| panic!("{line:?}: {e}"));
+    match reply {
+        Reply::Topk { epoch, entries, .. } => (epoch, entries.to_vec()),
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+/// Replays `ops` in batches through one dataset and asserts every epoch's
+/// answers against the replay oracle, for several `k` regimes and both an
+/// `auto` and an explicit engine path.
+fn check_mode(g0: &CsrGraph, ops: &[EdgeOp], mode: Mode, batch: usize, seed_tag: &str) {
+    let service = Service::new();
+    let name = format!("replay-{seed_tag}");
+    service.load_graph(&name, g0.clone(), mode).unwrap();
+    let n = g0.n();
+    let ks = [1usize, 3, n / 2, n + 2];
+
+    let mut applied_prefix = 0usize;
+    let mut batch_start = 0usize;
+    let mut epoch = 0u64;
+    loop {
+        // Check the current epoch (including epoch 0 before any update).
+        let truth = reference_truth(&replay_graph(g0, &ops[..applied_prefix]).to_csr());
+        for &k in &ks {
+            let (e, entries) = topk_entries(&service, &format!("TOPK {name} {k}"));
+            assert_eq!(e, epoch, "answer cites the wrong epoch");
+            check_topk(&truth, &entries, k, REL_TOL).unwrap_or_else(|err| {
+                panic!("{seed_tag} mode={mode:?} epoch={epoch} k={k} (auto): {err}")
+            });
+            let (e, entries) =
+                topk_entries(&service, &format!("TOPK {name} {k} core::compute_all"));
+            assert_eq!(e, epoch);
+            check_topk(&truth, &entries, k, REL_TOL).unwrap_or_else(|err| {
+                panic!("{seed_tag} mode={mode:?} epoch={epoch} k={k} (engine): {err}")
+            });
+        }
+        if batch_start >= ops.len() {
+            break;
+        }
+        // Ingest the next batch.
+        let end = (batch_start + batch).min(ops.len());
+        let slice = &ops[batch_start..end];
+        let line = format!(
+            "UPDATE {name} {}",
+            slice
+                .iter()
+                .map(|op| match op {
+                    EdgeOp::Insert(u, v) => format!("+{u},{v}"),
+                    EdgeOp::Delete(u, v) => format!("-{u},{v}"),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        match service.execute(&parse_command(&line).unwrap()).unwrap() {
+            Reply::Update(_, out) => {
+                epoch = out.epoch;
+                assert_eq!(
+                    out.applied,
+                    slice.len(),
+                    "every op in the stream is state-changing by construction"
+                );
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        applied_prefix = end;
+        batch_start = end;
+    }
+    assert!(epoch >= 1, "stream must have published at least one epoch");
+}
+
+#[test]
+fn replayed_stream_matches_oracle_local_mode() {
+    let g0 = egobtw_gen::gnp(18, 0.2, 11);
+    let ops = stream(&g0, 40, 0xA11CE);
+    check_mode(&g0, &ops, Mode::Local { publish_k: 6 }, 3, "local");
+}
+
+#[test]
+fn replayed_stream_matches_oracle_lazy_mode() {
+    let g0 = egobtw_gen::gnp(18, 0.2, 11);
+    let ops = stream(&g0, 40, 0xA11CE);
+    // lazy:10 covers the whole k sweep below n/2 and forces both the
+    // deferred-refresh and engine fallback paths.
+    check_mode(&g0, &ops, Mode::Lazy { k: 10 }, 3, "lazy");
+}
+
+#[test]
+fn replayed_stream_from_karate_with_deletes_only_start() {
+    // Start from a real graph so early deletes hit existing structure.
+    let g0 = egobtw_gen::classic::karate_club();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut mirror = egobtw_graph::DynGraph::from_csr(&g0);
+    let mut ops = Vec::new();
+    while ops.len() < 30 {
+        let u = rng.random_range(0..34u32);
+        let v = rng.random_range(0..34u32);
+        if u == v {
+            continue;
+        }
+        let op = if mirror.has_edge(u, v) {
+            mirror.remove_edge(u, v);
+            EdgeOp::Delete(u, v)
+        } else {
+            mirror.insert_edge(u, v);
+            EdgeOp::Insert(u, v)
+        };
+        ops.push(op);
+    }
+    check_mode(&g0, &ops, Mode::Local { publish_k: 8 }, 5, "karate-local");
+    check_mode(&g0, &ops, Mode::Lazy { k: 8 }, 5, "karate-lazy");
+}

@@ -1,0 +1,130 @@
+//! End-to-end TCP tests: real sockets on an OS-assigned port.
+
+use egobtw_gen::classic;
+use egobtw_service::catalog::Mode;
+use egobtw_service::server::{connect_with_retry, roundtrip, Server};
+use egobtw_service::Service;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(threads: usize) -> (Arc<Service>, Server) {
+    let service = Arc::new(Service::new());
+    service
+        .load_graph("k", classic::karate_club(), Mode::default())
+        .unwrap();
+    let server = Server::spawn(service.clone(), "127.0.0.1:0", threads).expect("bind");
+    (service, server)
+}
+
+#[test]
+fn end_to_end_session_load_query_update_requery() {
+    let (_service, server) = start(2);
+    let addr = server.local_addr().to_string();
+    let (mut reader, mut writer) =
+        connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    let pong = roundtrip(&mut reader, &mut writer, "PING").unwrap();
+    assert_eq!(pong, "OK pong");
+
+    // A batched frame: responses line up one-to-one, in order.
+    let response = roundtrip(
+        &mut reader,
+        &mut writer,
+        "TOPK k 3\nSCORE k 0 33\nCOMMON k 0 33\nSTATS k",
+    )
+    .unwrap();
+    let lines: Vec<&str> = response.lines().collect();
+    assert_eq!(lines.len(), 4, "{response}");
+    assert!(lines[0].starts_with("OK top name=k epoch=0 k=3 source=maintained"));
+    assert!(lines[1].starts_with("OK score name=k epoch=0"));
+    assert!(lines[2].starts_with("OK common name=k epoch=0"));
+    assert!(lines[3].starts_with("OK stats name=k epoch=0 n=34 m=78"));
+
+    let top0 = lines[0].split_once("entries=").unwrap().1.to_string();
+
+    // Update, then the re-query must answer for the new epoch.
+    let response = roundtrip(&mut reader, &mut writer, "UPDATE k -0,1 -0,2\nTOPK k 3").unwrap();
+    let lines: Vec<&str> = response.lines().collect();
+    assert!(lines[0].starts_with("OK update name=k epoch=1 applied=2 skipped=0"));
+    assert!(
+        lines[1].starts_with("OK top name=k epoch=1"),
+        "{}",
+        lines[1]
+    );
+    let top1 = lines[1].split_once("entries=").unwrap().1;
+    assert_ne!(top0, top1, "deleting hub edges must change the answer");
+
+    drop((reader, writer));
+    server.shutdown();
+}
+
+#[test]
+fn errors_keep_the_connection_usable() {
+    let (_service, server) = start(1);
+    let addr = server.local_addr().to_string();
+    let (mut reader, mut writer) =
+        connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+    let response = roundtrip(&mut reader, &mut writer, "NOPE\nTOPK missing 3").unwrap();
+    for line in response.lines() {
+        assert!(line.starts_with("ERR"), "{line}");
+    }
+    let pong = roundtrip(&mut reader, &mut writer, "PING").unwrap();
+    assert_eq!(pong, "OK pong");
+    drop((reader, writer));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_see_consistent_epochs() {
+    // 4 readers hammer TOPK while the main thread applies updates; every
+    // response must be internally consistent (the epoch it cites is a
+    // published one) and the server must survive the concurrency.
+    let (service, server) = start(6);
+    service
+        .load_graph("g", egobtw_gen::gnp(40, 0.15, 7), Mode::default())
+        .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut reader, mut writer) =
+                    connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+                let mut last_epoch = 0u64;
+                for _ in 0..50 {
+                    let response =
+                        roundtrip(&mut reader, &mut writer, "TOPK g 5").expect("roundtrip");
+                    assert!(response.starts_with("OK top"), "{response}");
+                    let epoch: u64 = response
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix("epoch="))
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    // Epochs are monotone per connection: a reader can see
+                    // a newer snapshot, never an older one again.
+                    assert!(epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = epoch;
+                }
+                last_epoch
+            })
+        })
+        .collect();
+
+    let (mut reader, mut writer) =
+        connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+    for i in 0..20u32 {
+        let (u, v) = (i % 40, (i * 7 + 1) % 40);
+        if u == v {
+            continue;
+        }
+        let response = roundtrip(&mut reader, &mut writer, &format!("UPDATE g +{u},{v}")).unwrap();
+        assert!(response.starts_with("OK update"), "{response}");
+    }
+    for handle in readers {
+        handle.join().expect("reader thread panicked");
+    }
+    drop((reader, writer));
+    server.shutdown();
+}

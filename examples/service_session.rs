@@ -1,0 +1,62 @@
+//! The query service, end to end in one process: a catalog of datasets
+//! behind epoch-swapped snapshots, concurrent readers, an update stream
+//! through the dynamic maintainers, and the TCP daemon — the
+//! serve-while-updating workload the paper's Section IV algorithms exist
+//! for.
+//!
+//! ```text
+//! cargo run --release --example service_session
+//! ```
+
+use egobtw_service::catalog::Mode;
+use egobtw_service::server::{connect_with_retry, roundtrip, Server};
+use egobtw_service::Service;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. An in-process service: load two datasets under different
+    //    maintainer modes.
+    let service = Arc::new(Service::new());
+    let karate = egobtw::gen::classic::karate_club();
+    let social = egobtw::gen::barabasi_albert(400, 3, 0xE6);
+    service
+        .load_graph("karate", karate, Mode::default())
+        .expect("load karate");
+    service
+        .load_graph("social", social, Mode::Lazy { k: 10 })
+        .expect("load social");
+
+    // 2. Talk to it without any sockets — parse/execute/render.
+    for line in [
+        "LIST",
+        "TOPK karate 5",
+        "SCORE karate 0 33",
+        "COMMON karate 0 33",
+        "UPDATE karate -0,1 +4,9",
+        "TOPK karate 5",
+        "TOPK social 10",
+        "UPDATE social -0,1 -0,2 -1,2",
+        "TOPK social 10", // lazy mode: this read may pay the deferred refresh
+        "TOPK social 10", // …and this one is served maintained
+        "STATS social",
+    ] {
+        println!("> {line}");
+        println!("{}", service.handle_line(line));
+    }
+
+    // 3. The same service over TCP: spawn the daemon on an OS port, run a
+    //    scripted client session against it.
+    let server = Server::spawn(service, "127.0.0.1:0", 4).expect("bind");
+    let addr = server.local_addr().to_string();
+    println!("\ndaemon listening on {addr}");
+    let (mut reader, mut writer) =
+        connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+    let batch = "PING\nTOPK karate 3\nTOPK social 3 core::compute_all";
+    println!("> [one frame, three commands]");
+    let response = roundtrip(&mut reader, &mut writer, batch).expect("roundtrip");
+    println!("{response}");
+    drop((reader, writer));
+    server.shutdown();
+    println!("daemon stopped cleanly");
+}
