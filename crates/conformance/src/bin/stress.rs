@@ -8,8 +8,10 @@
 //!   --budget N      number of scenarios to run (default 200)
 //!   --max-secs T    stop early (green) after T seconds of checking
 //!   --mutate KIND   inject a deliberately broken engine (tie-drop |
-//!                   bias | stale-graph) to demonstrate detection +
-//!                   shrinking; the run is then EXPECTED to fail
+//!                   bias | stale-graph | delta-stale-pair |
+//!                   delta-missed-ego | delta-no-recert) to demonstrate
+//!                   detection + shrinking; the run is then EXPECTED to
+//!                   fail
 //!   --verbose       print every scenario label as it runs
 //! ```
 //!

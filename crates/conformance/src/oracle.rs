@@ -14,7 +14,7 @@
 
 use crate::case::Case;
 use egobtw_core::registry::{builtin_engines, topk_from_scores, RegisteredEngine};
-use egobtw_dynamic::{LazyTopK, LocalIndex};
+use egobtw_dynamic::{DeltaFault, DeltaIndex, LazyTopK, LocalIndex};
 use egobtw_graph::{CsrGraph, VertexId};
 use egobtw_parallel::{edge_pebw, vertex_pebw};
 
@@ -98,9 +98,21 @@ impl Oracle for LocalOracle {
     }
 }
 
+/// Adapter over [`DeltaIndex`] replayed across the case's update stream.
+pub struct DeltaOracle;
+
+impl Oracle for DeltaOracle {
+    fn name(&self) -> String {
+        "dynamic::delta(replay)".into()
+    }
+    fn topk(&self, case: &Case, _final_g: &CsrGraph) -> Vec<(VertexId, f64)> {
+        DeltaIndex::replay(&case.initial(), case.k, &case.ops).top_k()
+    }
+}
+
 /// Every registered algorithm path: the enumerated `core` registry, both
-/// PEBW variants at 1/2/4 threads, and both dynamic maintainers replayed
-/// over the update stream.
+/// PEBW variants at 1/2/4 threads, and all three dynamic maintainers
+/// replayed over the update stream.
 pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
     let mut oracles: Vec<Box<dyn Oracle>> = builtin_engines()
         .into_iter()
@@ -113,6 +125,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
     }
     oracles.push(Box::new(LazyOracle));
     oracles.push(Box::new(LocalOracle));
+    oracles.push(Box::new(DeltaOracle));
     oracles
 }
 
@@ -132,6 +145,20 @@ pub enum Mutation {
     /// stands in for a maintainer that forgets to apply updates. Caught
     /// whenever the stream changes any relevant score.
     StaleGraph,
+    /// `DeltaIndex` with [`DeltaFault::StalePairOnDelete`] planted: on
+    /// delete, connectors of pairs in the common-neighbor egos are never
+    /// decremented, so those egos' `CB` rots low. Caught by per-vertex
+    /// honesty / multiset checks on any stream with a triangle-adjacent
+    /// delete.
+    DeltaStalePair,
+    /// `DeltaIndex` with [`DeltaFault::MissEgo`] planted: the last
+    /// common-neighbor ego is skipped when enumerating the affected set,
+    /// and its terms silently rot.
+    DeltaMissedEgo,
+    /// `DeltaIndex` with [`DeltaFault::SkipRecertify`] planted: the top-k
+    /// boundary is never re-certified, freezing membership at the initial
+    /// top-k. Caught whenever the stream changes the true top-k.
+    DeltaNoRecert,
 }
 
 impl Mutation {
@@ -141,15 +168,32 @@ impl Mutation {
             "tie-drop" => Some(Mutation::TieDrop),
             "bias" => Some(Mutation::Bias),
             "stale-graph" => Some(Mutation::StaleGraph),
+            "delta-stale-pair" => Some(Mutation::DeltaStalePair),
+            "delta-missed-ego" => Some(Mutation::DeltaMissedEgo),
+            "delta-no-recert" => Some(Mutation::DeltaNoRecert),
             _ => None,
         }
     }
 
     /// All mutation names, for usage text.
-    pub const NAMES: &'static str = "tie-drop | bias | stale-graph";
+    pub const NAMES: &'static str =
+        "tie-drop | bias | stale-graph | delta-stale-pair | delta-missed-ego | delta-no-recert";
+
+    /// The fault to plant into a [`DeltaIndex`], for the delta mutants.
+    fn delta_fault(self) -> Option<DeltaFault> {
+        match self {
+            Mutation::DeltaStalePair => Some(DeltaFault::StalePairOnDelete),
+            Mutation::DeltaMissedEgo => Some(DeltaFault::MissEgo),
+            Mutation::DeltaNoRecert => Some(DeltaFault::SkipRecertify),
+            _ => None,
+        }
+    }
 }
 
-/// A correct engine (naive definition) wrapped with one deliberate defect.
+/// An engine wrapped with one deliberate defect: the first three mutations
+/// corrupt a correct naive answer from the outside; the `Delta*` ones run
+/// the real `DeltaIndex` replay with the corresponding fault planted
+/// *inside* its update path.
 pub struct FaultyOracle(pub Mutation);
 
 impl Oracle for FaultyOracle {
@@ -157,6 +201,13 @@ impl Oracle for FaultyOracle {
         format!("mutant::{:?}", self.0)
     }
     fn topk(&self, case: &Case, final_g: &CsrGraph) -> Vec<(VertexId, f64)> {
+        if let Some(fault) = self.0.delta_fault() {
+            let mut idx = DeltaIndex::with_fault(&case.initial(), case.k, fault);
+            for &op in &case.ops {
+                idx.apply(op);
+            }
+            return idx.top_k();
+        }
         let g = match self.0 {
             Mutation::StaleGraph => case.initial(),
             _ => final_g.clone(),
@@ -175,7 +226,7 @@ impl Oracle for FaultyOracle {
                     last.1 += 1e-3;
                 }
             }
-            Mutation::StaleGraph => {}
+            _ => {}
         }
         out
     }
@@ -207,6 +258,7 @@ mod tests {
         assert!(names.iter().any(|n| n == "parallel::edge_pebw(t=2)"));
         assert!(names.iter().any(|n| n == "dynamic::lazy(replay)"));
         assert!(names.iter().any(|n| n == "dynamic::local(replay)"));
+        assert!(names.iter().any(|n| n == "dynamic::delta(replay)"));
         names.sort();
         names.dedup();
         assert_eq!(names.len(), oracles.len(), "duplicate oracle name");
@@ -240,6 +292,53 @@ mod tests {
         assert!(FaultyOracle(Mutation::Bias).topk(&case, &final_g)[2].1 != 0.0);
         assert!(FaultyOracle(Mutation::TieDrop).topk(&case, &final_g).len() < 3);
         assert_eq!(Mutation::parse("bias"), Some(Mutation::Bias));
+        assert_eq!(
+            Mutation::parse("delta-no-recert"),
+            Some(Mutation::DeltaNoRecert)
+        );
         assert_eq!(Mutation::parse("nope"), None);
+    }
+
+    #[test]
+    fn delta_mutants_misbehave() {
+        // Each planted delta fault paired with the op/k regime where the
+        // paper's toy graph provably exposes it: connector rot on the
+        // (c,g) delete, a skipped ego on the (i,k) insert (both at k=n,
+        // value-level), and the frozen Example 7 top-1 flip (k=1,
+        // membership-level).
+        use egobtw_gen::toy;
+        let g = toy::paper_graph();
+        let mk = |k: usize, ops: Vec<EdgeOp>| Case {
+            n: g.n(),
+            edges: g.edges().collect(),
+            k,
+            ops,
+            label: "toy-delta-mutant".into(),
+        };
+        let checks = [
+            (
+                Mutation::DeltaStalePair,
+                mk(16, vec![EdgeOp::Delete(toy::ids::C, toy::ids::G)]),
+            ),
+            (
+                Mutation::DeltaMissedEgo,
+                mk(16, vec![EdgeOp::Insert(toy::ids::I, toy::ids::K)]),
+            ),
+            (
+                Mutation::DeltaNoRecert,
+                mk(1, vec![EdgeOp::Insert(toy::ids::I, toy::ids::K)]),
+            ),
+        ];
+        for (m, case) in checks {
+            let final_g = case.final_graph();
+            let honest = DeltaOracle.topk(&case, &final_g);
+            let got = FaultyOracle(m).topk(&case, &final_g);
+            let diverges = got.len() != honest.len()
+                || got
+                    .iter()
+                    .zip(&honest)
+                    .any(|(a, b)| a.0 != b.0 || (a.1 - b.1).abs() > 1e-9);
+            assert!(diverges, "{m:?} indistinguishable from honest replay");
+        }
     }
 }

@@ -156,7 +156,12 @@ pub fn scenario(seed: u64, idx: usize) -> Case {
     // Stride 1 over a 5-long sweep per family block; 8 and 5 are coprime,
     // so every (family, k-regime) pair appears within 40 indices.
     let k = k_sweep(n)[(idx / FAMILIES.len()) % 5];
-    let ops = if idx.is_multiple_of(2) && n >= 2 {
+    // Alternate streams per family *block*, not per raw index: family is
+    // `idx % 8`, so raw-index parity would pin each family to always (or
+    // never) carry a stream — half the families would never exercise the
+    // dynamic maintainers. Folding in the block number flips the phase
+    // every 8 scenarios, so every family alternates.
+    let ops = if (idx + idx / FAMILIES.len()).is_multiple_of(2) && n >= 2 {
         let len = rng.random_range(n..2 * n + 1);
         random_stream(&g, len, &mut rng)
     } else {
@@ -198,6 +203,24 @@ mod tests {
         assert_eq!(fams.len(), FAMILIES.len());
         assert_eq!(k_classes.len(), 5);
         assert!(with_ops >= 15, "streams too rare: {with_ops}/40");
+        // Every family must carry a stream somewhere in the sweep — a
+        // family the dynamic maintainers never replay is a conformance
+        // blind spot (this was once true for half of them).
+        let mut streamed = std::collections::BTreeSet::new();
+        for idx in 0..80 {
+            if !scenario(7, idx).ops.is_empty() {
+                streamed.insert(FAMILIES[idx % FAMILIES.len()]);
+            }
+        }
+        assert_eq!(
+            streamed.len(),
+            FAMILIES.len(),
+            "families without streams: {:?}",
+            FAMILIES
+                .iter()
+                .filter(|f| !streamed.contains(*f))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

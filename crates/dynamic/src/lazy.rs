@@ -59,6 +59,9 @@ pub struct LazyTopK {
     /// Lazy max-heap over outsiders: entries `(val-at-push, v)`; an entry
     /// is live iff it matches `val[v]` and `v ∉ R`.
     heap: BinaryHeap<(OrdF64, VertexId)>,
+    /// Common-neighbor scratch reused across updates (capacity survives,
+    /// contents do not).
+    scratch_common: Vec<VertexId>,
     /// Work counters.
     pub stats: LazyStats,
 }
@@ -90,6 +93,7 @@ impl LazyTopK {
             in_r,
             r,
             heap,
+            scratch_common: Vec::new(),
             stats: LazyStats::default(),
         }
     }
@@ -259,11 +263,12 @@ impl LazyTopK {
         if u == v || self.g.has_edge(u, v) {
             return false;
         }
-        let common: Vec<VertexId> = self.g.common_neighbors(u, v);
+        let mut common = std::mem::take(&mut self.scratch_common);
+        self.g.common_neighbors_into(u, v, &mut common);
         self.g.insert_edge(u, v);
         self.handle_endpoint(u);
         self.handle_endpoint(v);
-        for w in common {
+        for &w in &common {
             if self.in_r[w as usize] {
                 // Decreasing: may fall out of R — recompute and rebalance.
                 self.stale[w as usize] = true;
@@ -274,6 +279,7 @@ impl LazyTopK {
                 self.stats.lazy_skips += 1;
             }
         }
+        self.scratch_common = common;
         self.rebalance();
         true
     }
@@ -284,11 +290,12 @@ impl LazyTopK {
         if !self.g.has_edge(u, v) {
             return false;
         }
-        let common: Vec<VertexId> = self.g.common_neighbors(u, v);
+        let mut common = std::mem::take(&mut self.scratch_common);
+        self.g.common_neighbors_into(u, v, &mut common);
         self.g.remove_edge(u, v);
         self.handle_endpoint(u);
         self.handle_endpoint(v);
-        for w in common {
+        for &w in &common {
             if self.in_r[w as usize] {
                 // Non-decreasing: membership is safe; value becomes a
                 // lower bound (I3). The paper's Example 8 optimization.
@@ -314,6 +321,7 @@ impl LazyTopK {
                 }
             }
         }
+        self.scratch_common = common;
         self.rebalance();
         true
     }

@@ -1,6 +1,6 @@
 //! Ego-betweenness maintenance under edge updates (Section IV).
 //!
-//! Two maintainers, trading memory for work:
+//! Three maintainers, trading memory for work:
 //!
 //! * [`local::LocalIndex`] — **LocalInsert / LocalDelete** (Algorithms
 //!   4–5): keeps the complete per-vertex maps `S_u` plus every `CB`, and
@@ -14,6 +14,14 @@
 //!   bounds move with the degree) let most affected vertices be marked
 //!   stale instead of recomputed; exact recomputation happens on demand via
 //!   the per-ego kernel.
+//! * [`delta::DeltaIndex`] — dependency-delta maintenance: the full pair
+//!   stores of `LocalIndex` (exact `CB` everywhere) *plus* an incrementally
+//!   re-certified top-k set like `LazyTopK`'s, so an update costs
+//!   O(affected pairs) and publishing the answer costs O(k log k) — no
+//!   per-publish full sort. Its patch enumeration recounts affected terms
+//!   directly from adjacency instead of reusing the Lemma 4–7 helper
+//!   decomposition, making it an independent implementation the
+//!   conformance net can diff against the other two.
 //!
 //! Both are verified against from-scratch recomputation after every
 //! update in the property-test suites.
@@ -22,10 +30,12 @@
 //! replay constructors on both maintainers, so the conformance harness
 //! can treat "maintainer fed a stream" as just another engine.
 
+pub mod delta;
 pub mod lazy;
 pub mod local;
 pub mod stream;
 
+pub use delta::{DeltaFault, DeltaIndex, DeltaStats};
 pub use lazy::{LazyTopK, TopKPeek};
 pub use local::LocalIndex;
 pub use stream::{replay_graph, EdgeOp};

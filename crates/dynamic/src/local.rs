@@ -28,11 +28,22 @@ fn contrib(val: Option<u32>) -> f64 {
     }
 }
 
+/// Scratch buffers reused across updates, so a replayed stream does not
+/// pay one round of allocations per op (capacity survives, contents do
+/// not).
+#[derive(Default)]
+struct Scratch {
+    common: Vec<VertexId>,
+    xs: Vec<VertexId>,
+    nbrs: Vec<VertexId>,
+}
+
 /// Exact dynamic index over all vertices.
 pub struct LocalIndex {
     g: DynGraph,
     store: SMapStore,
     cb: Vec<f64>,
+    scratch: Scratch,
 }
 
 impl LocalIndex {
@@ -50,6 +61,7 @@ impl LocalIndex {
             g: DynGraph::from_csr(g),
             store,
             cb,
+            scratch: Scratch::default(),
         }
     }
 
@@ -167,7 +179,8 @@ impl LocalIndex {
         }
         // Everything below reasons about the OLD graph; the adjacency flip
         // happens last.
-        let mut common: Vec<VertexId> = self.g.common_neighbors(u, v);
+        let mut common = std::mem::take(&mut self.scratch.common);
+        self.g.common_neighbors_into(u, v, &mut common);
         common.sort_unstable();
 
         // --- common neighbors w ∈ L (Lemma 5) ---
@@ -175,19 +188,21 @@ impl LocalIndex {
             // (u,v) becomes an edge inside GE(w).
             self.pair_becomes_edge(w, u, v);
             // v is a new connector for pairs (u,x), x ∈ N(w) ∩ N(v).
-            let xs: Vec<VertexId> = self.g.common_neighbors(w, v);
-            for x in xs {
+            let mut xs = std::mem::take(&mut self.scratch.xs);
+            self.g.common_neighbors_into(w, v, &mut xs);
+            for &x in &xs {
                 if x != u && !self.g.has_edge(x, u) {
                     self.add_connector(w, u, x);
                 }
             }
             // u is a new connector for pairs (v,x), x ∈ N(w) ∩ N(u).
-            let xs: Vec<VertexId> = self.g.common_neighbors(w, u);
-            for x in xs {
+            self.g.common_neighbors_into(w, u, &mut xs);
+            for &x in &xs {
                 if x != v && !self.g.has_edge(x, v) {
                     self.add_connector(w, v, x);
                 }
             }
+            self.scratch.xs = xs;
         }
 
         // --- endpoints (Lemma 4 / Algorithm 5) ---
@@ -195,6 +210,7 @@ impl LocalIndex {
         self.endpoint_gains_neighbor(v, u, &common);
 
         self.g.insert_edge(u, v);
+        self.scratch.common = common;
         true
     }
 
@@ -202,7 +218,8 @@ impl LocalIndex {
     /// graph.
     fn endpoint_gains_neighbor(&mut self, u: VertexId, nv: VertexId, common: &[VertexId]) {
         // New pairs (nv, x) for every old neighbor x.
-        let old_nbrs: Vec<VertexId> = self.g.sorted_neighbors(u);
+        let mut old_nbrs = std::mem::take(&mut self.scratch.nbrs);
+        self.g.sorted_neighbors_into(u, &mut old_nbrs);
         for &x in &old_nbrs {
             if common.binary_search(&x).is_ok() {
                 self.pair_appears(u, nv, x, Some(0)); // (nv,x) ∈ E
@@ -210,15 +227,18 @@ impl LocalIndex {
                 self.pair_appears(u, nv, x, None); // connectors added below
             }
         }
+        self.scratch.nbrs = old_nbrs;
         // Connectors for the new pairs come exactly from L: p ∈ L is
         // adjacent to nv; it connects (nv, x) for x ∈ N(u) ∩ N(p), x ∉ L.
         for &p in common {
-            let xs: Vec<VertexId> = self.g.common_neighbors(u, p);
-            for x in xs {
+            let mut xs = std::mem::take(&mut self.scratch.xs);
+            self.g.common_neighbors_into(u, p, &mut xs);
+            for &x in &xs {
                 if x != nv && common.binary_search(&x).is_err() {
                     self.add_connector(u, nv, x);
                 }
             }
+            self.scratch.xs = xs;
         }
         // nv becomes a connector for existing non-adjacent pairs inside L.
         for (i, &p) in common.iter().enumerate() {
@@ -236,7 +256,8 @@ impl LocalIndex {
         if !self.g.has_edge(u, v) {
             return false;
         }
-        let mut common: Vec<VertexId> = self.g.common_neighbors(u, v);
+        let mut common = std::mem::take(&mut self.scratch.common);
+        self.g.common_neighbors_into(u, v, &mut common);
         common.sort_unstable();
 
         // --- common neighbors w ∈ L (Lemma 7) ---
@@ -249,19 +270,21 @@ impl LocalIndex {
                 .count() as u32;
             self.pair_stops_being_edge(w, u, v, c);
             // v stops connecting pairs (u,x), x ∈ N(w) ∩ N(v).
-            let xs: Vec<VertexId> = self.g.common_neighbors(w, v);
-            for x in xs {
+            let mut xs = std::mem::take(&mut self.scratch.xs);
+            self.g.common_neighbors_into(w, v, &mut xs);
+            for &x in &xs {
                 if x != u && !self.g.has_edge(x, u) {
                     self.remove_connector(w, u, x);
                 }
             }
             // u stops connecting pairs (v,x), x ∈ N(w) ∩ N(u).
-            let xs: Vec<VertexId> = self.g.common_neighbors(w, u);
-            for x in xs {
+            self.g.common_neighbors_into(w, u, &mut xs);
+            for &x in &xs {
                 if x != v && !self.g.has_edge(x, v) {
                     self.remove_connector(w, v, x);
                 }
             }
+            self.scratch.xs = xs;
         }
 
         // --- endpoints (Lemma 6) ---
@@ -269,17 +292,20 @@ impl LocalIndex {
         self.endpoint_loses_neighbor(v, u, &common);
 
         self.g.remove_edge(u, v);
+        self.scratch.common = common;
         true
     }
 
     /// Endpoint `u` loses neighbor `nv`; `common = N(u) ∩ N(nv)`.
     fn endpoint_loses_neighbor(&mut self, u: VertexId, nv: VertexId, common: &[VertexId]) {
-        let nbrs: Vec<VertexId> = self.g.sorted_neighbors(u);
+        let mut nbrs = std::mem::take(&mut self.scratch.nbrs);
+        self.g.sorted_neighbors_into(u, &mut nbrs);
         for &x in &nbrs {
             if x != nv {
                 self.pair_disappears(u, nv, x);
             }
         }
+        self.scratch.nbrs = nbrs;
         for (i, &p) in common.iter().enumerate() {
             for &q in common.iter().skip(i + 1) {
                 if !self.g.has_edge(p, q) {

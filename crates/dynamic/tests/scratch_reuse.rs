@@ -1,0 +1,114 @@
+//! Regression tests for the scratch-buffer reuse in the maintainers'
+//! update paths.
+//!
+//! `LocalIndex`, `LazyTopK`, and `DeltaIndex` now route per-op
+//! common-neighbor/neighbor enumeration through reused scratch buffers
+//! instead of fresh allocations. Buffer reuse is exactly the kind of
+//! change that can silently corrupt results (a stale element surviving a
+//! missing `clear`), so these tests pin the replay output of all three
+//! maintainers against from-scratch rebuilds on dense seeded streams
+//! where the buffers are taken and refilled thousands of times at
+//! varying sizes.
+
+use conformance::{approx_eq, check_topk, REL_TOL};
+use egobtw_dynamic::{replay_graph, DeltaIndex, EdgeOp, LazyTopK, LocalIndex};
+use egobtw_gen::gnp;
+use egobtw_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_stream(n: usize, len: usize, seed: u64) -> Vec<EdgeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let u = rng.random_range(0..n as VertexId);
+        let v = rng.random_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        // Blind flips: duplicates and absent deletes are intentionally in
+        // the mix, exercising the early-return paths around the take/put.
+        if rng.random_bool(0.5) {
+            ops.push(EdgeOp::Insert(u, v));
+        } else {
+            ops.push(EdgeOp::Delete(u, v));
+        }
+    }
+    ops
+}
+
+#[test]
+fn local_replay_identical_to_fresh_rebuild() {
+    for seed in [3u64, 99] {
+        let g0 = gnp(30, 0.25, seed);
+        let ops = seeded_stream(30, 400, seed);
+        let replayed = LocalIndex::replay(&g0, &ops);
+        let fresh = LocalIndex::new(&replay_graph(&g0, &ops).to_csr());
+        for v in 0..30u32 {
+            assert!(
+                approx_eq(replayed.cb(v), fresh.cb(v), REL_TOL),
+                "seed {seed}: CB({v}) {} vs fresh {}",
+                replayed.cb(v),
+                fresh.cb(v)
+            );
+        }
+        replayed.validate();
+    }
+}
+
+#[test]
+fn lazy_replay_identical_to_fresh_rebuild() {
+    for (seed, k) in [(3u64, 1usize), (99, 7)] {
+        let g0 = gnp(30, 0.25, seed);
+        let ops = seeded_stream(30, 400, seed);
+        let mut replayed = LazyTopK::replay(&g0, k, &ops);
+        let fresh = LocalIndex::new(&replay_graph(&g0, &ops).to_csr());
+        if let Err(why) = check_topk(fresh.all_cb(), &replayed.top_k(), k, REL_TOL) {
+            panic!("seed {seed} k={k}: {why}");
+        }
+    }
+}
+
+#[test]
+fn delta_replay_identical_to_fresh_rebuild() {
+    for (seed, k) in [(3u64, 1usize), (99, 7)] {
+        let g0 = gnp(30, 0.25, seed);
+        let ops = seeded_stream(30, 400, seed);
+        let replayed = DeltaIndex::replay(&g0, k, &ops);
+        let fresh = LocalIndex::new(&replay_graph(&g0, &ops).to_csr());
+        for v in 0..30u32 {
+            assert!(
+                approx_eq(replayed.cb(v), fresh.cb(v), REL_TOL),
+                "seed {seed}: CB({v}) {} vs fresh {}",
+                replayed.cb(v),
+                fresh.cb(v)
+            );
+        }
+        if let Err(why) = check_topk(fresh.all_cb(), &replayed.top_k(), k, REL_TOL) {
+            panic!("seed {seed} k={k}: {why}");
+        }
+        replayed.validate();
+    }
+}
+
+#[test]
+fn interleaved_maintainers_share_nothing() {
+    // Two indices fed the same ops in lockstep must not interfere through
+    // any shared state (there is none — this pins it).
+    let g0 = gnp(24, 0.3, 11);
+    let ops = seeded_stream(24, 200, 11);
+    let mut a = LocalIndex::new(&g0);
+    let mut b = DeltaIndex::new(&g0, 5);
+    for &op in &ops {
+        a.apply(op);
+        b.apply(op);
+        for v in 0..24u32 {
+            assert!(
+                approx_eq(a.cb(v), b.cb(v), REL_TOL),
+                "CB({v}) diverged: {} vs {}",
+                a.cb(v),
+                b.cb(v)
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //!     --family ba --scale 1.0 --seed 7 --out data/ba.snap
 //!
 //! flags:
-//!   --family F    karate | toy | er | ba | ws | rmat | community (required)
+//!   --family F    karate | toy | er | ba | ws | rmat | community | hub (required)
 //!   --scale S     size multiplier on the family's base size (default 1.0;
 //!                 ignored by the fixed-size karate/toy fixtures)
 //!   --seed N      generator seed (default 42; karate/toy are deterministic)

@@ -43,7 +43,16 @@ pub use ws::watts_strogatz;
 use egobtw_graph::CsrGraph;
 
 /// The families [`synth_family`] accepts, with base sizes at scale 1.0.
-pub const SYNTH_FAMILIES: &[&str] = &["karate", "toy", "er", "ba", "ws", "rmat", "community"];
+pub const SYNTH_FAMILIES: &[&str] = &[
+    "karate",
+    "toy",
+    "er",
+    "ba",
+    "ws",
+    "rmat",
+    "community",
+    "hub",
+];
 
 /// One-stop named-family synthesis, shared by the `mkdata` binary and the
 /// service's `egobtw-cli loadgen --gen` so "the same `(family, scale,
@@ -57,6 +66,12 @@ pub fn synth_family(family: &str, scale: f64, seed: u64) -> Result<CsrGraph, Str
         "toy" => toy::paper_graph(),
         "er" => gnp(n(200), 0.05, seed),
         "ba" => barabasi_albert(n(200), 3, seed),
+        // Hub-heavy but sparse (m ≈ n): attachment 1 grows a scale-free
+        // tree whose high-degree hubs dominate the ranking while common
+        // neighborhoods stay tiny, so per-op incremental work is small
+        // and the per-publish cost (sorting all n scores vs reading off
+        // a k-heap) dominates an update-heavy serving workload.
+        "hub" => barabasi_albert(n(2000), 1, seed),
         "ws" => watts_strogatz(n(200), 6, 0.1, seed),
         "rmat" => {
             let target = n(256);

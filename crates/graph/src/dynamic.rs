@@ -86,6 +86,14 @@ impl DynGraph {
         v
     }
 
+    /// [`DynGraph::sorted_neighbors`] into a caller-owned buffer (cleared
+    /// first), so tight update loops can reuse capacity across calls.
+    pub fn sorted_neighbors_into(&self, u: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.adj[u as usize].iter().copied());
+        out.sort_unstable();
+    }
+
     /// Appends a new isolated vertex; returns its id.
     pub fn add_vertex(&mut self) -> VertexId {
         self.adj.push(FxHashSet::default());
@@ -140,6 +148,23 @@ impl DynGraph {
             .copied()
             .filter(|&w| self.adj[b as usize].contains(&w))
             .collect()
+    }
+
+    /// [`DynGraph::common_neighbors`] into a caller-owned buffer (cleared
+    /// first). Same hash-order contents; sort if determinism is required.
+    pub fn common_neighbors_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        out.extend(
+            self.adj[a as usize]
+                .iter()
+                .copied()
+                .filter(|&w| self.adj[b as usize].contains(&w)),
+        );
     }
 
     /// Exhaustively checks the structural invariants the maintenance
@@ -284,5 +309,26 @@ mod tests {
             g.insert_edge(0, v);
         }
         assert_eq!(g.sorted_neighbors(0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let mut g = DynGraph::new(7);
+        for &(u, v) in &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 5), (0, 6)] {
+            g.insert_edge(u, v);
+        }
+        // Reused buffer starts dirty to prove it is cleared.
+        let mut buf = vec![99u32; 4];
+        g.sorted_neighbors_into(0, &mut buf);
+        assert_eq!(buf, g.sorted_neighbors(0));
+        g.common_neighbors_into(0, 1, &mut buf);
+        buf.sort_unstable();
+        let mut direct = g.common_neighbors(0, 1);
+        direct.sort_unstable();
+        assert_eq!(buf, direct);
+        assert_eq!(buf, vec![2, 3]);
+        // Empty intersection clears the buffer too.
+        g.common_neighbors_into(4, 5, &mut buf);
+        assert!(buf.is_empty());
     }
 }

@@ -14,22 +14,27 @@
 //!     --dataset NAME=PATH[:MODE]  dataset file (repeatable)
 //!     --gen NAME=FAMILY:SCALE:SEED[:MODE]  synthesize instead (repeatable,
 //!                                 in-process target only)
+//!     --mix NAME:FRAC  named read/write scenario, e.g. read-heavy:0.1
+//!                   (repeatable; every dataset runs once per mix; without
+//!                   any --mix a single `default` mix at --write-frac runs)
 //!     --threads N   client threads per dataset (default 4)
 //!     --ops N       total ops per dataset (default 2000)
-//!     --write-frac F  update fraction (default 0.1)
+//!     --write-frac F  update fraction of the default mix (default 0.1)
 //!     --k K         top-k size for reads (default 8)
 //!     --batch B     update ops per epoch (default 2)
 //!     --seed S      workload seed (default 42)
-//!     --check       oracle-check sampled top-k answers (small datasets)
+//!     --check       oracle-check sampled top-k answers (skipped per
+//!                   dataset above --check-max-n vertices)
+//!     --check-max-n N  largest n the oracle check runs on (default 512)
 //!     --out PATH    output file (default BENCH_service.json)
 //!
-//! egobtw-cli loadgen --validate PATH [--expect-datasets N]
+//! egobtw-cli loadgen --validate PATH [--expect-datasets N] [--expect-scenarios N]
 //!     Schema-check an existing BENCH_service.json (CI smoke); also fails
 //!     on any recorded comparator violation.
 //! ```
 
 use egobtw_service::catalog::Mode;
-use egobtw_service::loadgen::{self, DatasetSpec, LoadgenConfig, Target};
+use egobtw_service::loadgen::{self, DatasetSpec, LoadgenConfig, MixSpec, Target};
 use egobtw_service::server::{connect_with_retry, roundtrip};
 use egobtw_service::Service;
 use std::io::Read;
@@ -107,7 +112,9 @@ fn run_loadgen(argv: &[String]) -> i32 {
     let mut out = "BENCH_service.json".to_string();
     let mut validate_path: Option<String> = None;
     let mut expect_datasets = 1usize;
+    let mut expect_scenarios = 1usize;
     let mut specs: Vec<DatasetSpec> = Vec::new();
+    let mut mixes: Vec<MixSpec> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         let value = |i: usize| -> &String {
@@ -131,10 +138,24 @@ fn run_loadgen(argv: &[String]) -> i32 {
                 i += 1;
                 continue;
             }
+            "--check-max-n" => cfg.check_max_n = parse_or_die("--check-max-n", value(i)) as usize,
             "--out" => out = value(i).clone(),
             "--validate" => validate_path = Some(value(i).clone()),
             "--expect-datasets" => {
                 expect_datasets = parse_or_die("--expect-datasets", value(i)) as usize
+            }
+            "--expect-scenarios" => {
+                expect_scenarios = parse_or_die("--expect-scenarios", value(i)) as usize
+            }
+            "--mix" => {
+                let spec = value(i);
+                let (name, frac) = spec
+                    .rsplit_once(':')
+                    .unwrap_or_else(|| fail(&format!("--mix {spec:?}: NAME:FRAC")));
+                mixes.push(MixSpec {
+                    name: name.to_string(),
+                    write_frac: parse_or_die("--mix frac", frac),
+                });
             }
             "--dataset" => {
                 let spec = value(i);
@@ -190,9 +211,11 @@ fn run_loadgen(argv: &[String]) -> i32 {
             std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path:?}: {e}")));
         let doc = egobtw_bench::json::Json::parse(&text)
             .unwrap_or_else(|e| fail(&format!("{path:?}: not JSON: {e}")));
-        return match loadgen::validate(&doc, expect_datasets) {
+        return match loadgen::validate(&doc, expect_datasets, expect_scenarios) {
             Ok(()) => {
-                println!("{path}: schema OK ({expect_datasets}+ dataset records)");
+                println!(
+                    "{path}: schema OK ({expect_scenarios}+ scenario(s) × {expect_datasets}+ dataset records)"
+                );
                 0
             }
             Err(e) => {
@@ -213,25 +236,31 @@ fn run_loadgen(argv: &[String]) -> i32 {
             Target::InProc(&service_holder)
         }
     };
-    match loadgen::run(&target, &cfg, &specs) {
+    match loadgen::run(&target, &cfg, &specs, &mixes) {
         Ok(doc) => {
             let mut text = doc.pretty();
             text.push('\n');
             std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out:?}: {e}")));
             let mut violations = 0.0;
-            if let Some(datasets) = doc.get("datasets").and_then(|d| d.as_arr()) {
-                for ds in datasets {
-                    if let Some(v) = ds
-                        .get("comparator")
-                        .and_then(|c| c.get("violations"))
-                        .and_then(|v| v.as_num())
-                    {
-                        violations += v;
+            if let Some(scenarios) = doc.get("scenarios").and_then(|s| s.as_arr()) {
+                for sc in scenarios {
+                    let Some(datasets) = sc.get("datasets").and_then(|d| d.as_arr()) else {
+                        continue;
+                    };
+                    for ds in datasets {
+                        if let Some(v) = ds
+                            .get("comparator")
+                            .and_then(|c| c.get("violations"))
+                            .and_then(|v| v.as_num())
+                        {
+                            violations += v;
+                        }
                     }
                 }
             }
             println!(
-                "wrote {out} ({} dataset(s), {} comparator violation(s))",
+                "wrote {out} ({} scenario(s) × {} dataset(s), {} comparator violation(s))",
+                mixes.len().max(1),
                 specs.len(),
                 violations
             );

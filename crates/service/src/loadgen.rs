@@ -12,9 +12,19 @@
 //! tie-aware comparator. A served answer that was stale, torn, or
 //! cache-leaked across epochs cannot pass.
 //!
-//! Results go to `BENCH_service.json` (schema
-//! `egobtw/bench-service/v1`), one record per dataset with throughput and
-//! read/update latency percentiles; [`validate`] is the CI schema check.
+//! A run covers one or more **scenarios** (named read/write mixes, e.g.
+//! `read-heavy` at 10% writes and `update-heavy` at 50%): every dataset
+//! is driven once per scenario, under a catalog name mangled with the
+//! scenario name so epochs never bleed across scenarios. Results go to
+//! `BENCH_service.json` (schema `egobtw/bench-service/v2`), one record
+//! per (scenario, dataset) with throughput and read/update latency
+//! percentiles; [`validate`] is the CI schema check.
+//!
+//! The oracle check replays the writer's stream from scratch per sampled
+//! epoch with a cubic-per-vertex reference, so it is automatically
+//! skipped (and recorded as skipped) for datasets larger than
+//! [`LoadgenConfig::check_max_n`] — large graphs get throughput numbers,
+//! small ones get proofs.
 
 use crate::catalog::Mode;
 use crate::proto::parse_entries;
@@ -34,7 +44,17 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Schema tag written into `BENCH_service.json`.
-pub const SCHEMA: &str = "egobtw/bench-service/v1";
+pub const SCHEMA: &str = "egobtw/bench-service/v2";
+
+/// One named read/write mix of a run.
+#[derive(Clone, Debug)]
+pub struct MixSpec {
+    /// Scenario name (goes into the document and the mangled catalog
+    /// names, so it must be catalog-name-safe).
+    pub name: String,
+    /// Fraction of ops that are edge updates (e.g. `0.5` for 50/50).
+    pub write_frac: f64,
+}
 
 /// Workload shape shared by every dataset in a run.
 #[derive(Clone, Debug)]
@@ -43,7 +63,7 @@ pub struct LoadgenConfig {
     pub threads: usize,
     /// Total operations per dataset (reads + updates).
     pub ops: usize,
-    /// Fraction of `ops` that are edge updates (e.g. `0.1` for 90/10).
+    /// Default update fraction, used when a run names no explicit mixes.
     pub write_frac: f64,
     /// `k` for the top-k reads.
     pub k: usize,
@@ -53,6 +73,9 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Verify sampled top-k answers against the replay oracle.
     pub check: bool,
+    /// Largest `n` the oracle check runs on (the reference truth is cubic
+    /// per vertex); bigger datasets record the check as skipped.
+    pub check_max_n: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +88,7 @@ impl Default for LoadgenConfig {
             batch: 2,
             seed: 42,
             check: false,
+            check_max_n: 512,
         }
     }
 }
@@ -295,17 +319,21 @@ fn check_samples(
     violations
 }
 
-/// Runs the workload against one dataset and returns its JSON record.
+/// Runs one scenario's workload against one dataset and returns its JSON
+/// record. The catalog name is mangled with the scenario name so the same
+/// dataset can be driven once per scenario against a shared target.
 fn run_dataset(
     target: &Target<'_>,
     cfg: &LoadgenConfig,
     spec: &DatasetSpec,
+    mix: &MixSpec,
 ) -> Result<Json, String> {
+    let catalog_name = format!("{}--{}", spec.name, mix.name);
     // Load the dataset into the target.
     match target {
         Target::InProc(service) => {
             service
-                .load_graph(&spec.name, spec.g0.clone(), spec.mode)
+                .load_graph(&catalog_name, spec.g0.clone(), spec.mode)
                 .map(|_| ())?;
         }
         Target::Tcp(_) => {
@@ -316,7 +344,7 @@ fn run_dataset(
             let mut conn = open_conn(target)?;
             let reply = conn.round(&format!(
                 "LOAD {} {} {}",
-                spec.name,
+                catalog_name,
                 path,
                 spec.mode.render()
             ))?;
@@ -328,7 +356,9 @@ fn run_dataset(
     if n < 2 {
         return Err(format!("dataset {} too small to drive", spec.name));
     }
-    let updates = ((cfg.ops as f64 * cfg.write_frac).round() as usize).min(cfg.ops);
+    // The reference oracle is cubic per vertex — only check small graphs.
+    let check = cfg.check && n <= cfg.check_max_n;
+    let updates = ((cfg.ops as f64 * mix.write_frac).round() as usize).min(cfg.ops);
     let reads = cfg.ops - updates;
     let reader_threads = cfg.threads.saturating_sub(1).max(1);
     let sample_every = (reads / (64 * reader_threads)).max(1);
@@ -345,8 +375,8 @@ fn run_dataset(
         for t in 0..reader_threads {
             let share = reads / reader_threads + usize::from(t < reads % reader_threads);
             let (errors, reader_logs) = (&errors, &reader_logs);
-            let name = spec.name.clone();
-            let (seed, k, check) = (cfg.seed, cfg.k, cfg.check);
+            let name = catalog_name.clone();
+            let (seed, k) = (cfg.seed, cfg.k);
             scope.spawn(move || {
                 let plan = WorkerPlan {
                     name: &name,
@@ -367,11 +397,11 @@ fn run_dataset(
         // Writer (runs on this thread so it can borrow the mirror/log).
         if updates > 0 {
             let plan = WorkerPlan {
-                name: &spec.name,
+                name: &catalog_name,
                 n,
                 k: cfg.k,
                 seed: cfg.seed,
-                check: cfg.check,
+                check,
                 sample_every,
             };
             let run = open_conn(target).and_then(|mut conn| {
@@ -404,12 +434,12 @@ fn run_dataset(
         samples.extend(log.samples);
     }
 
-    let (checked, violations) = if cfg.check {
+    let (checked, violations) = if check {
         let mut epoch_prefix: HashMap<u64, usize> = writer_log.epochs.iter().copied().collect();
         epoch_prefix.insert(0, 0); // the pre-update epoch
         let violations = check_samples(&spec.g0, &ops_log, &epoch_prefix, &samples);
         for v in &violations {
-            eprintln!("loadgen[{}]: COMPARATOR VIOLATION: {v}", spec.name);
+            eprintln!("loadgen[{catalog_name}]: COMPARATOR VIOLATION: {v}");
         }
         (samples.len(), violations.len())
     } else {
@@ -420,6 +450,7 @@ fn run_dataset(
     let throughput = total_ops as f64 / wall.as_secs_f64().max(1e-9);
     Ok(Json::Obj(vec![
         ("name".into(), Json::Str(spec.name.clone())),
+        ("scenario".into(), Json::Str(mix.name.clone())),
         ("n".into(), Json::Num(n as f64)),
         ("m".into(), Json::Num(spec.g0.m() as f64)),
         ("mode".into(), Json::Str(spec.mode.render())),
@@ -440,6 +471,7 @@ fn run_dataset(
         (
             "comparator".into(),
             Json::Obj(vec![
+                ("enabled".into(), Json::Bool(check)),
                 ("checked".into(), Json::Num(checked as f64)),
                 ("violations".into(), Json::Num(violations as f64)),
             ]),
@@ -447,22 +479,50 @@ fn run_dataset(
     ]))
 }
 
-/// Runs the full workload: every dataset in `specs`, one after another
-/// (each gets the configured thread count to itself), returning the
-/// `BENCH_service.json` document. Fails on any worker error; comparator
-/// violations are *reported in the document*, not fatal, so the caller
-/// (CI) can assert on them explicitly.
+/// Runs the full workload: every scenario in `mixes` drives every dataset
+/// in `specs`, one (scenario, dataset) pair after another (each gets the
+/// configured thread count to itself), returning the
+/// `BENCH_service.json` document. With `mixes` empty, a single `default`
+/// scenario at `cfg.write_frac` runs. Fails on any worker error;
+/// comparator violations are *reported in the document*, not fatal, so
+/// the caller (CI) can assert on them explicitly.
 pub fn run(
     target: &Target<'_>,
     cfg: &LoadgenConfig,
     specs: &[DatasetSpec],
+    mixes: &[MixSpec],
 ) -> Result<Json, String> {
     if specs.is_empty() {
         return Err("loadgen needs at least one dataset".into());
     }
-    let mut datasets = Vec::new();
-    for spec in specs {
-        datasets.push(run_dataset(target, cfg, spec)?);
+    let default_mix = [MixSpec {
+        name: "default".into(),
+        write_frac: cfg.write_frac,
+    }];
+    let mixes = if mixes.is_empty() {
+        &default_mix
+    } else {
+        mixes
+    };
+    for mix in mixes {
+        if !(0.0..=1.0).contains(&mix.write_frac) {
+            return Err(format!("mix {:?}: write_frac out of [0,1]", mix.name));
+        }
+        if mix.name.is_empty() || !mix.name.chars().all(|c| c.is_ascii_graphic()) {
+            return Err(format!("bad mix name {:?}", mix.name));
+        }
+    }
+    let mut scenarios = Vec::new();
+    for mix in mixes {
+        let mut datasets = Vec::new();
+        for spec in specs {
+            datasets.push(run_dataset(target, cfg, spec, mix)?);
+        }
+        scenarios.push(Json::Obj(vec![
+            ("name".into(), Json::Str(mix.name.clone())),
+            ("write_frac".into(), Json::Num(mix.write_frac)),
+            ("datasets".into(), Json::Arr(datasets)),
+        ]));
     }
     Ok(Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -471,11 +531,11 @@ pub fn run(
             Json::Obj(vec![
                 ("threads".into(), Json::Num(cfg.threads as f64)),
                 ("ops".into(), Json::Num(cfg.ops as f64)),
-                ("write_frac".into(), Json::Num(cfg.write_frac)),
                 ("k".into(), Json::Num(cfg.k as f64)),
                 ("batch".into(), Json::Num(cfg.batch as f64)),
                 ("seed".into(), Json::Num(cfg.seed as f64)),
                 ("check".into(), Json::Bool(cfg.check)),
+                ("check_max_n".into(), Json::Num(cfg.check_max_n as f64)),
                 (
                     "target".into(),
                     Json::Str(match target {
@@ -485,66 +545,93 @@ pub fn run(
                 ),
             ]),
         ),
-        ("datasets".into(), Json::Arr(datasets)),
+        ("scenarios".into(), Json::Arr(scenarios)),
     ]))
 }
 
 /// Schema check for a `BENCH_service.json` document: the right schema
-/// tag, at least `min_datasets` records, and every record carrying
-/// finite, sane core metrics. Returns the first problem found.
-pub fn validate(doc: &Json, min_datasets: usize) -> Result<(), String> {
+/// tag, at least `min_scenarios` scenario records each holding at least
+/// `min_datasets` dataset records, and every record carrying finite, sane
+/// core metrics. Returns the first problem found.
+pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result<(), String> {
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("schema tag is not {SCHEMA:?}"));
     }
-    let datasets = doc
-        .get("datasets")
+    let scenarios = doc
+        .get("scenarios")
         .and_then(Json::as_arr)
-        .ok_or("no datasets array")?;
-    if datasets.len() < min_datasets {
+        .ok_or("no scenarios array")?;
+    if scenarios.len() < min_scenarios {
         return Err(format!(
-            "{} dataset record(s), expected at least {min_datasets}",
-            datasets.len()
+            "{} scenario record(s), expected at least {min_scenarios}",
+            scenarios.len()
         ));
     }
-    for (i, ds) in datasets.iter().enumerate() {
-        let name = ds
+    for (si, sc) in scenarios.iter().enumerate() {
+        let sc_name = sc
             .get("name")
             .and_then(Json::as_str)
-            .ok_or(format!("dataset {i}: no name"))?;
-        let num = |key: &str| -> Result<f64, String> {
-            ds.get(key)
-                .and_then(Json::as_num)
-                .filter(|x| x.is_finite())
-                .ok_or(format!("dataset {name:?}: missing/non-finite {key}"))
-        };
-        if num("throughput_ops_per_sec")? <= 0.0 {
-            return Err(format!("dataset {name:?}: non-positive throughput"));
-        }
-        num("wall_ms")?;
-        num("reads")?;
-        num("updates")?;
-        for class in ["read_latency", "update_latency"] {
-            let lat = ds
-                .get(class)
-                .ok_or(format!("dataset {name:?}: missing {class}"))?;
-            for key in ["count", "p50_us", "p90_us", "p99_us", "max_us"] {
-                lat.get(key)
-                    .and_then(Json::as_num)
-                    .filter(|x| x.is_finite() && *x >= 0.0)
-                    .ok_or(format!("dataset {name:?}: bad {class}.{key}"))?;
-            }
-        }
-        let comp = ds
-            .get("comparator")
-            .ok_or(format!("dataset {name:?}: missing comparator"))?;
-        let violations = comp
-            .get("violations")
+            .ok_or(format!("scenario {si}: no name"))?;
+        sc.get("write_frac")
             .and_then(Json::as_num)
-            .ok_or(format!("dataset {name:?}: missing comparator.violations"))?;
-        if violations != 0.0 {
+            .filter(|x| (0.0..=1.0).contains(x))
+            .ok_or(format!("scenario {sc_name:?}: bad write_frac"))?;
+        let datasets = sc
+            .get("datasets")
+            .and_then(Json::as_arr)
+            .ok_or(format!("scenario {sc_name:?}: no datasets array"))?;
+        if datasets.len() < min_datasets {
             return Err(format!(
-                "dataset {name:?}: {violations} comparator violation(s)"
+                "scenario {sc_name:?}: {} dataset record(s), expected at least {min_datasets}",
+                datasets.len()
             ));
+        }
+        for (i, ds) in datasets.iter().enumerate() {
+            let name = ds
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("scenario {sc_name:?} dataset {i}: no name"))?;
+            ds.get("scenario")
+                .and_then(Json::as_str)
+                .filter(|s| *s == sc_name)
+                .ok_or(format!(
+                    "dataset {name:?}: scenario tag does not match {sc_name:?}"
+                ))?;
+            let num = |key: &str| -> Result<f64, String> {
+                ds.get(key)
+                    .and_then(Json::as_num)
+                    .filter(|x| x.is_finite())
+                    .ok_or(format!("dataset {name:?}: missing/non-finite {key}"))
+            };
+            if num("throughput_ops_per_sec")? <= 0.0 {
+                return Err(format!("dataset {name:?}: non-positive throughput"));
+            }
+            num("wall_ms")?;
+            num("reads")?;
+            num("updates")?;
+            for class in ["read_latency", "update_latency"] {
+                let lat = ds
+                    .get(class)
+                    .ok_or(format!("dataset {name:?}: missing {class}"))?;
+                for key in ["count", "p50_us", "p90_us", "p99_us", "max_us"] {
+                    lat.get(key)
+                        .and_then(Json::as_num)
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or(format!("dataset {name:?}: bad {class}.{key}"))?;
+                }
+            }
+            let comp = ds
+                .get("comparator")
+                .ok_or(format!("dataset {name:?}: missing comparator"))?;
+            let violations = comp
+                .get("violations")
+                .and_then(Json::as_num)
+                .ok_or(format!("dataset {name:?}: missing comparator.violations"))?;
+            if violations != 0.0 {
+                return Err(format!(
+                    "dataset {name:?}: {violations} comparator violation(s)"
+                ));
+            }
         }
     }
     Ok(())

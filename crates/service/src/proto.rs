@@ -10,7 +10,7 @@
 //! Command grammar (whitespace-separated tokens):
 //!
 //! ```text
-//! LOAD   <name> <path> [local[:K] | lazy:<k>]   load a dataset file
+//! LOAD   <name> <path> [local[:K] | lazy:<k> | delta:<k>]   load a dataset file
 //! TOPK   <name> <k> [engine]                    top-k (engine: auto | registry name)
 //! SCORE  <name> <v>...                          exact CB of named vertices
 //! COMMON <name> <u> <v>                         common neighbors
@@ -333,6 +333,14 @@ mod tests {
                 name: "g".into(),
                 path: "/tmp/x.snap".into(),
                 mode: Mode::Lazy { k: 8 },
+            }
+        );
+        assert_eq!(
+            parse_command("LOAD g /tmp/x.snap delta:4").unwrap(),
+            Command::Load {
+                name: "g".into(),
+                path: "/tmp/x.snap".into(),
+                mode: Mode::Delta { k: 4 },
             }
         );
         assert_eq!(

@@ -5,7 +5,7 @@
 //! machinery with any engine or maintainer), compared with the
 //! conformance crate's tie-aware comparator.
 
-use conformance::{check_topk, REL_TOL};
+use conformance::{approx_eq, check_topk, REL_TOL};
 use egobtw_core::naive::ego_betweenness_reference;
 use egobtw_dynamic::{replay_graph, EdgeOp};
 use egobtw_graph::{CsrGraph, VertexId};
@@ -56,9 +56,10 @@ fn topk_entries(service: &Service, line: &str) -> (u64, Vec<(VertexId, f64)>) {
     }
 }
 
-/// Replays `ops` in batches through one dataset and asserts every epoch's
-/// answers against the replay oracle, for several `k` regimes and both an
-/// `auto` and an explicit engine path.
+/// Replays `ops` in batches through one dataset and asserts every epoch
+/// with **two comparators**: the tie-aware top-k comparator over both the
+/// `auto` and explicit-engine paths, and a per-vertex exact comparison of
+/// every SCORE answer against the reference truth.
 fn check_mode(g0: &CsrGraph, ops: &[EdgeOp], mode: Mode, batch: usize, seed_tag: &str) {
     let service = Service::new();
     let name = format!("replay-{seed_tag}");
@@ -84,6 +85,21 @@ fn check_mode(g0: &CsrGraph, ops: &[EdgeOp], mode: Mode, batch: usize, seed_tag:
             check_topk(&truth, &entries, k, REL_TOL).unwrap_or_else(|err| {
                 panic!("{seed_tag} mode={mode:?} epoch={epoch} k={k} (engine): {err}")
             });
+        }
+        // Second comparator: every vertex's exact score via SCORE.
+        let all: Vec<String> = (0..n as VertexId).map(|v| v.to_string()).collect();
+        let line = format!("SCORE {name} {}", all.join(" "));
+        match service.execute(&parse_command(&line).unwrap()).unwrap() {
+            Reply::Score { entries, .. } => {
+                for (v, s) in entries {
+                    assert!(
+                        approx_eq(s, truth[v as usize], REL_TOL),
+                        "{seed_tag} mode={mode:?} epoch={epoch}: CB({v}) {s} vs {}",
+                        truth[v as usize]
+                    );
+                }
+            }
+            other => panic!("unexpected reply {other:?}"),
         }
         if batch_start >= ops.len() {
             break;
@@ -136,6 +152,17 @@ fn replayed_stream_matches_oracle_lazy_mode() {
 }
 
 #[test]
+fn replayed_stream_matches_oracle_delta_mode() {
+    let g0 = egobtw_gen::gnp(18, 0.2, 11);
+    let ops = stream(&g0, 40, 0xA11CE);
+    // delta:10: k ≤ 10 requests ride the published maintained entries,
+    // larger k falls through to the engine path — both epoch-checked.
+    check_mode(&g0, &ops, Mode::Delta { k: 10 }, 3, "delta");
+    // Single-op batches stress the per-op re-certification hardest.
+    check_mode(&g0, &ops, Mode::Delta { k: 4 }, 1, "delta-k4");
+}
+
+#[test]
 fn replayed_stream_from_karate_with_deletes_only_start() {
     // Start from a real graph so early deletes hit existing structure.
     let g0 = egobtw_gen::classic::karate_club();
@@ -159,4 +186,5 @@ fn replayed_stream_from_karate_with_deletes_only_start() {
     }
     check_mode(&g0, &ops, Mode::Local { publish_k: 8 }, 5, "karate-local");
     check_mode(&g0, &ops, Mode::Lazy { k: 8 }, 5, "karate-lazy");
+    check_mode(&g0, &ops, Mode::Delta { k: 8 }, 5, "karate-delta");
 }
