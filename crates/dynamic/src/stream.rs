@@ -29,10 +29,43 @@ pub enum EdgeOp {
 }
 
 impl EdgeOp {
+    /// Byte length of one op in the binary wire form used by the service's
+    /// write-ahead log: a tag byte plus two little-endian `u32` endpoints.
+    pub const WIRE_LEN: usize = 9;
+
     /// The op's endpoints, insert or delete alike.
     pub fn endpoints(self) -> (VertexId, VertexId) {
         match self {
             EdgeOp::Insert(u, v) | EdgeOp::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Appends the binary wire form (`tag u8 | u u32 le | v u32 le`,
+    /// tag 0 = insert, 1 = delete) to `buf`.
+    pub fn encode_into(self, buf: &mut Vec<u8>) {
+        let (tag, (u, v)) = match self {
+            EdgeOp::Insert(u, v) => (0u8, (u, v)),
+            EdgeOp::Delete(u, v) => (1u8, (u, v)),
+        };
+        buf.push(tag);
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Decodes one op from the start of `bytes` ([`EdgeOp::encode_into`]'s
+    /// inverse). Returns `None` on a short buffer or an unknown tag —
+    /// never panics, so a torn or corrupted log record degrades to a clean
+    /// decode failure.
+    pub fn decode(bytes: &[u8]) -> Option<EdgeOp> {
+        if bytes.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let u = u32::from_le_bytes(bytes[1..5].try_into().ok()?);
+        let v = u32::from_le_bytes(bytes[5..9].try_into().ok()?);
+        match bytes[0] {
+            0 => Some(EdgeOp::Insert(u, v)),
+            1 => Some(EdgeOp::Delete(u, v)),
+            _ => None,
         }
     }
 }
@@ -173,5 +206,28 @@ mod tests {
     fn endpoints_accessor() {
         assert_eq!(EdgeOp::Insert(3, 7).endpoints(), (3, 7));
         assert_eq!(EdgeOp::Delete(9, 1).endpoints(), (9, 1));
+    }
+
+    #[test]
+    fn wire_codec_roundtrip_and_rejection() {
+        let mut buf = Vec::new();
+        for op in [
+            EdgeOp::Insert(0, 1),
+            EdgeOp::Delete(7, 3),
+            EdgeOp::Insert(u32::MAX, 0),
+        ] {
+            buf.clear();
+            op.encode_into(&mut buf);
+            assert_eq!(buf.len(), EdgeOp::WIRE_LEN);
+            assert_eq!(EdgeOp::decode(&buf), Some(op));
+        }
+        // Short buffers and unknown tags decode to None, never panic.
+        for cut in 0..EdgeOp::WIRE_LEN {
+            assert_eq!(EdgeOp::decode(&buf[..cut]), None);
+        }
+        let mut bad = buf.clone();
+        bad[0] = 2;
+        assert_eq!(EdgeOp::decode(&bad), None);
+        assert_eq!(EdgeOp::decode(&[]), None);
     }
 }

@@ -147,9 +147,10 @@ const FLAG_LABELS: u8 = 1;
 /// Fixed header size: magic + version + flags + n + m + checksum.
 const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 8 + 8;
 
-/// FNV-1a 64-bit hash, the snapshot payload checksum. Not cryptographic —
-/// it guards against truncation and bit rot, not adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash, the snapshot payload checksum (also used by the
+/// service's write-ahead log records). Not cryptographic — it guards
+/// against truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

@@ -1,0 +1,52 @@
+//! Thread-scaling check for `edge_pebw` on a hub-heavy graph — the
+//! workload where the uniform-chunk finalize used to make t=4 slower than
+//! t=2. All thread counts are timed inside one process run, so the
+//! comparison is insulated from machine-level noise between invocations.
+//!
+//! ```text
+//! cargo run --release -p egobtw-parallel --example pebw_scaling -- [rounds]
+//! ```
+
+use egobtw_parallel::edge_pebw;
+use std::time::Instant;
+
+fn median_ns(rounds: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    // Preferential attachment → a few hundred hubs own most edges.
+    let g = egobtw_gen::barabasi_albert(12_000, 4, 7);
+    println!(
+        "graph: n={} m={} (BA hub-heavy), rounds={rounds}",
+        g.n(),
+        g.m()
+    );
+    edge_pebw(&g, 4); // warmup
+    let mut t1 = 0u128;
+    for threads in [1usize, 2, 4, 8] {
+        let med = median_ns(rounds, || {
+            std::hint::black_box(edge_pebw(&g, threads));
+        });
+        if threads == 1 {
+            t1 = med;
+        }
+        println!(
+            "edge_pebw t={threads}: median {:9.1} ms  speedup vs t=1: {:4.2}x",
+            med as f64 / 1e6,
+            t1 as f64 / med as f64
+        );
+    }
+}

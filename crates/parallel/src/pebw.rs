@@ -3,7 +3,7 @@
 use egobtw_core::smap::PairMap;
 use egobtw_graph::{CsrGraph, DegreeOrder, EdgeSet, OrientedGraph, VertexId};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Work pulled per `fetch_add`, amortizing cursor contention without
 /// hurting balance (items are cheap; 64 keeps the tail short).
@@ -52,31 +52,43 @@ impl SharedMaps {
         }
     }
 
-    /// Finalizes `CB` for every vertex, in parallel over disjoint ranges
-    /// (no lock contention remains). Uses the deterministic sorted-entry
-    /// summation, so the result is bit-identical to sequential
-    /// `compute_all` at every thread count — the map *content* is
-    /// schedule-independent, and sorting fixes the float association.
+    /// Finalizes `CB` for every vertex in parallel. Uses the deterministic
+    /// sorted-entry summation, so the result is bit-identical to
+    /// sequential `compute_all` at every thread count — the map *content*
+    /// is schedule-independent, and sorting fixes the float association.
+    ///
+    /// A vertex's cost here scales with its ego-net (hub rows hold far
+    /// more pairs than leaf rows), so static `n/threads` ranges strand
+    /// every thread behind whichever one drew the hubs — the measured
+    /// cause of `edge_pebw` t=4 regressing below t=2 on hub-heavy graphs.
+    /// A fine-grained atomic cursor self-balances instead; each slot is
+    /// written exactly once, so routing the f64 bits through `AtomicU64`
+    /// changes nothing about the value.
     fn finalize(self, g: &CsrGraph, threads: usize) -> Vec<f64> {
         let n = g.n();
-        let mut cb = vec![0.0f64; n];
         if n == 0 {
-            return cb;
+            return Vec::new();
         }
-        let chunk = n.div_ceil(threads.max(1));
+        let cb: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let cursor = AtomicUsize::new(0);
         let maps = &self.maps;
         std::thread::scope(|s| {
-            for (t, slot) in cb.chunks_mut(chunk).enumerate() {
-                s.spawn(move || {
-                    let base = t * chunk;
-                    for (i, out) in slot.iter_mut().enumerate() {
-                        let v = (base + i) as VertexId;
-                        *out = maps[v as usize].lock().cb_given_degree_det(g.degree(v));
+            for _ in 0..threads.max(1) {
+                s.spawn(|| loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for v in start..(start + CHUNK).min(n) {
+                        let val = maps[v].lock().cb_given_degree_det(g.degree(v as VertexId));
+                        cb[v].store(val.to_bits(), Ordering::Relaxed);
                     }
                 });
             }
         });
-        cb
+        cb.into_iter()
+            .map(|bits| f64::from_bits(bits.into_inner()))
+            .collect()
     }
 }
 

@@ -16,7 +16,15 @@
 //!                                 in-process target only)
 //!     --mix NAME:FRAC  named read/write scenario, e.g. read-heavy:0.1
 //!                   (repeatable; every dataset runs once per mix; without
-//!                   any --mix a single `default` mix at --write-frac runs)
+//!                   any --mix or extra scenario a single `default` mix at
+//!                   --write-frac runs)
+//!     --recovery    add the restart-recovery scenario: per dataset, a WAL
+//!                   write burst, a teardown, a timed recovery, then
+//!                   oracle-checked reads (always in-process)
+//!     --skew        add the shard-skew scenario: all datasets concurrent,
+//!                   writes concentrated on the first (needs ≥2 datasets)
+//!     --tenants N   add the multi-tenant scenario with N ≥ 2 synthesized
+//!                   tiny datasets in one catalog (always in-process)
 //!     --threads N   client threads per dataset (default 4)
 //!     --ops N       total ops per dataset (default 2000)
 //!     --write-frac F  update fraction of the default mix (default 0.1)
@@ -34,7 +42,7 @@
 //! ```
 
 use egobtw_service::catalog::Mode;
-use egobtw_service::loadgen::{self, DatasetSpec, LoadgenConfig, MixSpec, Target};
+use egobtw_service::loadgen::{self, DatasetSpec, ExtraScenarios, LoadgenConfig, MixSpec, Target};
 use egobtw_service::server::{connect_with_retry, roundtrip};
 use egobtw_service::Service;
 use std::io::Read;
@@ -115,6 +123,7 @@ fn run_loadgen(argv: &[String]) -> i32 {
     let mut expect_scenarios = 1usize;
     let mut specs: Vec<DatasetSpec> = Vec::new();
     let mut mixes: Vec<MixSpec> = Vec::new();
+    let mut extras = ExtraScenarios::default();
     let mut i = 0;
     while i < argv.len() {
         let value = |i: usize| -> &String {
@@ -138,6 +147,17 @@ fn run_loadgen(argv: &[String]) -> i32 {
                 i += 1;
                 continue;
             }
+            "--recovery" => {
+                extras.recovery = true;
+                i += 1;
+                continue;
+            }
+            "--skew" => {
+                extras.skew = true;
+                i += 1;
+                continue;
+            }
+            "--tenants" => extras.tenants = parse_or_die("--tenants", value(i)) as usize,
             "--check-max-n" => cfg.check_max_n = parse_or_die("--check-max-n", value(i)) as usize,
             "--out" => out = value(i).clone(),
             "--validate" => validate_path = Some(value(i).clone()),
@@ -236,13 +256,15 @@ fn run_loadgen(argv: &[String]) -> i32 {
             Target::InProc(&service_holder)
         }
     };
-    match loadgen::run(&target, &cfg, &specs, &mixes) {
+    match loadgen::run(&target, &cfg, &specs, &mixes, &extras) {
         Ok(doc) => {
             let mut text = doc.pretty();
             text.push('\n');
             std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out:?}: {e}")));
             let mut violations = 0.0;
+            let mut scenario_count = 0;
             if let Some(scenarios) = doc.get("scenarios").and_then(|s| s.as_arr()) {
+                scenario_count = scenarios.len();
                 for sc in scenarios {
                     let Some(datasets) = sc.get("datasets").and_then(|d| d.as_arr()) else {
                         continue;
@@ -259,8 +281,7 @@ fn run_loadgen(argv: &[String]) -> i32 {
                 }
             }
             println!(
-                "wrote {out} ({} scenario(s) × {} dataset(s), {} comparator violation(s))",
-                mixes.len().max(1),
+                "wrote {out} ({scenario_count} scenario(s) over {} dataset(s), {} comparator violation(s))",
                 specs.len(),
                 violations
             );

@@ -6,20 +6,34 @@
 //! flags:
 //!   --listen ADDR        bind address (default 127.0.0.1:7878; port 0 = OS pick)
 //!   --threads N          worker pool size = max concurrent connections (default 8)
-//!   --load NAME=PATH[:MODE]   preload a dataset (repeatable; MODE as in LOAD)
+//!   --load NAME=PATH[:MODE]   preload a dataset (repeatable; MODE as in LOAD;
+//!                        skipped if recovery already rebuilt that name)
+//!   --data-dir PATH      enable durability: per-dataset WAL + snapshots under
+//!                        PATH, and recovery of everything found there at boot
+//!   --fsync always|never WAL fsync policy (default always; needs --data-dir)
+//!   --compact-every N    snapshot + truncate the WAL every N batches (default 64)
+//!   --shards N           catalog shards (default 8)
+//!   --shard-writers N    writer threads per shard (default 2)
 //! ```
 //!
-//! Prints one `listening on <addr>` line once the socket is bound (CI and
-//! scripts wait for it), then serves until killed.
+//! Prints one `recovered <name> …` line per rebuilt dataset, then one
+//! `listening on <addr>` line once the socket is bound (CI and scripts
+//! wait for it), then serves until killed.
 
 use egobtw_service::catalog::Mode;
-use egobtw_service::{Server, Service};
+use egobtw_service::{CatalogConfig, FsyncPolicy, PersistConfig, Server, Service};
+use std::io::Write;
 use std::sync::Arc;
 
 struct Args {
     listen: String,
     threads: usize,
     preload: Vec<(String, String, Mode)>,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
+    compact_every: u64,
+    shards: usize,
+    shard_writers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +42,11 @@ fn parse_args() -> Result<Args, String> {
         listen: "127.0.0.1:7878".into(),
         threads: 8,
         preload: Vec::new(),
+        data_dir: None,
+        fsync: FsyncPolicy::Always,
+        compact_every: 64,
+        shards: 8,
+        shard_writers: 2,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -48,12 +67,28 @@ fn parse_args() -> Result<Args, String> {
                 let (path, mode) = Mode::split_path_mode(rest);
                 args.preload.push((name.to_string(), path, mode));
             }
+            "--data-dir" => args.data_dir = Some(value(i)?.clone()),
+            "--fsync" => args.fsync = FsyncPolicy::parse(value(i)?)?,
+            "--compact-every" => {
+                args.compact_every = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--compact-every: {e}"))?
+            }
+            "--shards" => args.shards = value(i)?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--shard-writers" => {
+                args.shard_writers = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--shard-writers: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
     }
     if args.threads == 0 {
         return Err("--threads must be ≥ 1".into());
+    }
+    if args.shards == 0 || args.shard_writers == 0 || args.compact_every == 0 {
+        return Err("--shards, --shard-writers, --compact-every must be ≥ 1".into());
     }
     Ok(args)
 }
@@ -64,13 +99,41 @@ fn main() {
         Err(e) => {
             eprintln!("egobtw-serve: {e}");
             eprintln!(
-                "usage: egobtw-serve [--listen ADDR] [--threads N] [--load NAME=PATH[:MODE]]..."
+                "usage: egobtw-serve [--listen ADDR] [--threads N] [--load NAME=PATH[:MODE]]... \
+                 [--data-dir PATH] [--fsync always|never] [--compact-every N] [--shards N] \
+                 [--shard-writers N]"
             );
             std::process::exit(2);
         }
     };
-    let service = Arc::new(Service::new());
+    let persist = args.data_dir.as_ref().map(|dir| PersistConfig {
+        dir: dir.into(),
+        fsync: args.fsync,
+        compact_every: args.compact_every,
+    });
+    let service = Arc::new(Service::with_config(CatalogConfig {
+        shards: args.shards,
+        writers_per_shard: args.shard_writers,
+        persist,
+    }));
+    let recovered = match service.recover() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("egobtw-serve: recovery: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (name, report) in &recovered {
+        println!(
+            "recovered {name} epoch={} snapshot_epoch={} replayed={} torn_tail={}",
+            report.epoch, report.snapshot_epoch, report.replayed, report.torn_tail
+        );
+    }
     for (name, path, mode) in &args.preload {
+        if recovered.iter().any(|(n, _)| n == name) {
+            println!("preload {name}: recovered from data dir, skipping");
+            continue;
+        }
         match service.load_path(name, path, *mode) {
             Ok(reply) => println!("{}", reply.render()),
             Err(e) => {
@@ -91,6 +154,9 @@ fn main() {
         server.local_addr(),
         args.threads
     );
+    // Kill-and-replay tests read this line through a pipe; without the
+    // flush it sits in the block buffer until the process dies.
+    let _ = std::io::stdout().flush();
     // Serve until killed: park this thread forever.
     loop {
         std::thread::park();

@@ -1,4 +1,5 @@
-//! Graph catalog: named datasets with epoch-swapped immutable snapshots.
+//! Graph catalog: named datasets with epoch-swapped immutable snapshots,
+//! sharded maps, per-shard writer pools, and optional durability.
 //!
 //! Each [`Dataset`] is split into a writer side and a reader side:
 //!
@@ -15,7 +16,24 @@
 //! Every snapshot carries its own result cache; publishing a new epoch
 //! abandons the old snapshot (and its cache) to the readers still holding
 //! it, which makes cache invalidation structural — there is no way to
-//! serve a stale cached answer for the current epoch.
+//! serve a stale cached answer for the current epoch. Within an epoch the
+//! cache also **coalesces**: the first requester of a key claims a
+//! compute ticket and everyone else arriving before it finishes blocks on
+//! the pending slot instead of redundantly running the same engine
+//! ([`EpochSnapshot::claim`]).
+//!
+//! The catalog itself is split into [`Catalog`] **shards** keyed by a
+//! hash of the dataset name. Each shard has its own map lock and its own
+//! lazily-spawned writer pool, so a writer storm on one dataset never
+//! contends with lookups — or updates — of datasets living in other
+//! shards.
+//!
+//! With a [`PersistConfig`], every dataset additionally owns a directory
+//! holding a manifest, a CSR snapshot, and a write-ahead log of its
+//! update batches (see [`crate::wal`]). The WAL append lands — and, under
+//! [`crate::wal::FsyncPolicy::Always`], is fsynced — *before* the epoch
+//! is published to readers, so no client ever observes an epoch that a
+//! restart could lose.
 //!
 //! The three maintainer modes trade differently, which is the point of
 //! the paper's Algorithm 5 vs 6 in a serving context: [`Mode::Local`]
@@ -29,12 +47,17 @@
 //! of a full O(n log n) sort — the cheapest writer under update-heavy
 //! load at small k.
 
+use crate::wal::{self, crash, PersistConfig, Wal, WalRecord, WAL_FILE};
 use egobtw_core::registry::topk_from_scores;
 use egobtw_dynamic::{DeltaIndex, EdgeOp, LazyTopK, LocalIndex};
+use egobtw_graph::io::fnv1a64;
 use egobtw_graph::{CsrGraph, FxHashMap, VertexId};
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex, RwLock};
+use std::fs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 /// How many maintained entries a [`Mode::Local`] dataset publishes into
 /// each snapshot (requests with `k` at most this are answered without
@@ -148,9 +171,98 @@ pub enum CacheKey {
 /// Shared, immutable ranked entries — the currency of the result cache.
 pub type SharedEntries = Arc<Vec<(VertexId, f64)>>;
 
+/// The in-flight side of a coalesced query: the first requester computes,
+/// everyone else blocks here until the slot is filled.
+pub struct PendingResult {
+    state: Mutex<Option<Result<SharedEntries, String>>>,
+    cv: Condvar,
+}
+
+impl PendingResult {
+    fn new() -> Arc<Self> {
+        Arc::new(PendingResult {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the computing requester fills the slot.
+    pub fn wait(&self) -> Result<SharedEntries, String> {
+        let mut g = self.state.lock().unwrap();
+        while g.is_none() {
+            g = self.cv.wait(g).unwrap();
+        }
+        g.as_ref().unwrap().clone()
+    }
+
+    fn fill(&self, result: Result<SharedEntries, String>) {
+        *self.state.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+enum CacheSlot {
+    Ready(SharedEntries),
+    Pending(Arc<PendingResult>),
+}
+
+/// What [`EpochSnapshot::claim`] handed this requester.
+pub enum Claim {
+    /// The answer was cached — use it.
+    Ready(SharedEntries),
+    /// Another requester is computing the same key right now — call
+    /// [`PendingResult::wait`].
+    Wait(Arc<PendingResult>),
+    /// This requester computes; it MUST consume the ticket via
+    /// [`ComputeTicket::fulfill`] or [`ComputeTicket::fail`] (dropping it
+    /// fails the waiters cleanly, so a panic cannot strand them).
+    Compute(ComputeTicket),
+}
+
+/// Obligation to fill a claimed cache slot exactly once.
+pub struct ComputeTicket {
+    snap: Arc<EpochSnapshot>,
+    key: CacheKey,
+    slot: Arc<PendingResult>,
+    done: bool,
+}
+
+impl ComputeTicket {
+    /// Publishes the computed entries: caches them for later requesters at
+    /// this epoch and wakes every coalesced waiter.
+    pub fn fulfill(mut self, entries: SharedEntries) {
+        self.snap
+            .cache
+            .lock()
+            .unwrap()
+            .insert(self.key.clone(), CacheSlot::Ready(entries.clone()));
+        self.slot.fill(Ok(entries));
+        self.done = true;
+    }
+
+    /// Propagates a computation error: the slot is vacated (a later
+    /// requester may retry) and every waiter gets the error.
+    pub fn fail(mut self, err: String) {
+        self.snap.cache.lock().unwrap().remove(&self.key);
+        self.slot.fill(Err(err));
+        self.done = true;
+    }
+}
+
+impl Drop for ComputeTicket {
+    fn drop(&mut self) {
+        if !self.done {
+            self.snap.cache.lock().unwrap().remove(&self.key);
+            self.slot
+                .fill(Err("query computation aborted before completion".into()));
+        }
+    }
+}
+
 /// One immutable published epoch of a dataset.
 pub struct EpochSnapshot {
-    /// Epoch number: 0 at load, +1 per published update batch.
+    /// Epoch number: 0 at load (or the recovered epoch after a restart),
+    /// +1 per published update batch.
     pub epoch: u64,
     /// The graph at this epoch.
     pub graph: Arc<CsrGraph>,
@@ -164,7 +276,7 @@ pub struct EpochSnapshot {
     pub stale_members: usize,
     /// Per-epoch result cache. Dies with the snapshot, which *is* the
     /// invalidation scheme.
-    cache: Mutex<FxHashMap<CacheKey, SharedEntries>>,
+    cache: Mutex<FxHashMap<CacheKey, CacheSlot>>,
 }
 
 impl EpochSnapshot {
@@ -183,15 +295,48 @@ impl EpochSnapshot {
         }
     }
 
-    /// Cache lookup.
+    /// Cache lookup (ready answers only; pending slots are invisible here
+    /// — use [`EpochSnapshot::claim`] to coalesce).
     pub fn cache_get(&self, key: &CacheKey) -> Option<SharedEntries> {
-        self.cache.lock().unwrap().get(key).cloned()
+        match self.cache.lock().unwrap().get(key) {
+            Some(CacheSlot::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
     }
 
     /// Cache insert (last writer wins; all writers computed the same
-    /// answer for this epoch, so races are benign).
+    /// answer for this epoch, so races are benign). If a pending slot was
+    /// occupying the key, its waiters get this value.
     pub fn cache_put(&self, key: CacheKey, value: SharedEntries) {
-        self.cache.lock().unwrap().insert(key, value);
+        let previous = self
+            .cache
+            .lock()
+            .unwrap()
+            .insert(key, CacheSlot::Ready(value.clone()));
+        if let Some(CacheSlot::Pending(p)) = previous {
+            p.fill(Ok(value));
+        }
+    }
+
+    /// Coalescing entry point: atomically either returns the cached
+    /// answer, joins an in-flight computation, or makes this requester the
+    /// computing one (single-flight per key per epoch).
+    pub fn claim(self: &Arc<Self>, key: CacheKey) -> Claim {
+        let mut cache = self.cache.lock().unwrap();
+        match cache.get(&key) {
+            Some(CacheSlot::Ready(v)) => Claim::Ready(v.clone()),
+            Some(CacheSlot::Pending(p)) => Claim::Wait(p.clone()),
+            None => {
+                let slot = PendingResult::new();
+                cache.insert(key.clone(), CacheSlot::Pending(slot.clone()));
+                Claim::Compute(ComputeTicket {
+                    snap: self.clone(),
+                    key,
+                    slot,
+                    done: false,
+                })
+            }
+        }
     }
 }
 
@@ -202,11 +347,69 @@ enum Maintainer {
     Delta(Box<DeltaIndex>),
 }
 
+impl Maintainer {
+    fn build(g: &CsrGraph, mode: Mode) -> (Maintainer, Option<Vec<(VertexId, f64)>>, usize) {
+        match mode {
+            Mode::Local { publish_k } => {
+                let li = LocalIndex::new(g);
+                let top = li.top_k(publish_k);
+                (Maintainer::Local(li), Some(top), 0)
+            }
+            Mode::Lazy { k } => {
+                let lz = LazyTopK::new(g, k);
+                let peek = lz.peek_top_k();
+                // A fresh build is always fully exact.
+                debug_assert_eq!(peek.stale_members, 0);
+                (Maintainer::Lazy(Box::new(lz)), Some(peek.entries), 0)
+            }
+            Mode::Delta { k } => {
+                let di = DeltaIndex::new(g, k);
+                let top = di.top_k();
+                (Maintainer::Delta(Box::new(di)), Some(top), 0)
+            }
+        }
+    }
+
+    fn n(&self) -> usize {
+        match self {
+            Maintainer::Local(li) => li.graph().n(),
+            Maintainer::Lazy(lz) => lz.graph().n(),
+            Maintainer::Delta(di) => di.graph().n(),
+        }
+    }
+
+    fn apply(&mut self, op: EdgeOp) -> bool {
+        match self {
+            Maintainer::Local(li) => li.apply(op),
+            Maintainer::Lazy(lz) => lz.apply(op),
+            Maintainer::Delta(di) => di.apply(op),
+        }
+    }
+
+    fn to_csr(&self) -> CsrGraph {
+        match self {
+            Maintainer::Local(li) => li.graph().to_csr(),
+            Maintainer::Lazy(lz) => lz.graph().to_csr(),
+            Maintainer::Delta(di) => di.graph().to_csr(),
+        }
+    }
+}
+
+/// Durable state of one dataset: its directory, open WAL, and compaction
+/// cadence. Lives inside the writer lock, so appends are serialized with
+/// the maintainer mutations they log.
+struct DatasetPersist {
+    dir: std::path::PathBuf,
+    wal: Wal,
+    compact_every: u64,
+}
+
 struct Writer {
     maintainer: Maintainer,
     epoch: u64,
-    /// Total ops accepted (graph actually changed) since load.
+    /// Total ops accepted (graph actually changed) since load or recovery.
     ops_applied: u64,
+    persist: Option<DatasetPersist>,
 }
 
 /// Outcome of one published update batch.
@@ -225,41 +428,41 @@ pub struct UpdateOutcome {
     pub m: usize,
 }
 
+/// What a restart reconstructed for one dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot file recovery started from.
+    pub snapshot_epoch: u64,
+    /// Epoch reached after replaying the WAL tail.
+    pub epoch: u64,
+    /// WAL records replayed (epochs past the snapshot).
+    pub replayed: usize,
+    /// Whether a torn tail was discarded from the WAL.
+    pub torn_tail: bool,
+}
+
 /// A named dataset: writer-side maintainer + reader-side current snapshot.
 pub struct Dataset {
     name: String,
     mode: Mode,
     writer: Mutex<Writer>,
     current: RwLock<Arc<EpochSnapshot>>,
+    retired: AtomicBool,
     /// Cumulative cache counters (across epochs; the per-epoch caches
     /// themselves are dropped on every publish).
     pub cache_hits: AtomicU64,
     /// See [`Dataset::cache_hits`].
     pub cache_misses: AtomicU64,
+    /// Queries answered by joining another requester's in-flight
+    /// computation of the same key at the same epoch.
+    pub coalesced: AtomicU64,
 }
 
 impl Dataset {
-    /// Builds the maintainer on `g` and publishes epoch 0.
+    /// Builds the maintainer on `g` and publishes epoch 0 (in-memory only;
+    /// see [`Dataset::create_persistent`] for the durable variant).
     pub fn new(name: impl Into<String>, g: CsrGraph, mode: Mode) -> Self {
-        let (maintainer, maintained, stale) = match mode {
-            Mode::Local { publish_k } => {
-                let li = LocalIndex::new(&g);
-                let top = li.top_k(publish_k);
-                (Maintainer::Local(li), Some(top), 0)
-            }
-            Mode::Lazy { k } => {
-                let lz = LazyTopK::new(&g, k);
-                let peek = lz.peek_top_k();
-                // A fresh build is always fully exact.
-                debug_assert_eq!(peek.stale_members, 0);
-                (Maintainer::Lazy(Box::new(lz)), Some(peek.entries), 0)
-            }
-            Mode::Delta { k } => {
-                let di = DeltaIndex::new(&g, k);
-                let top = di.top_k();
-                (Maintainer::Delta(Box::new(di)), Some(top), 0)
-            }
-        };
+        let (maintainer, maintained, stale) = Maintainer::build(&g, mode);
         let snapshot = EpochSnapshot::new(0, Arc::new(g), maintained, stale);
         Dataset {
             name: name.into(),
@@ -268,11 +471,113 @@ impl Dataset {
                 maintainer,
                 epoch: 0,
                 ops_applied: 0,
+                persist: None,
             }),
             current: RwLock::new(Arc::new(snapshot)),
+            retired: AtomicBool::new(false),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// Builds a durable dataset: creates `<cfg.dir>/<name>/`, writes the
+    /// manifest and the epoch-0 snapshot, opens an empty WAL, then
+    /// publishes epoch 0. A leftover directory from an interrupted
+    /// creation or an earlier incarnation is replaced.
+    pub fn create_persistent(
+        name: &str,
+        g: CsrGraph,
+        mode: Mode,
+        cfg: &PersistConfig,
+    ) -> Result<Self, String> {
+        let dir = cfg.dir.join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+        wal::write_manifest(&dir, name, mode).map_err(|e| format!("write manifest: {e}"))?;
+        wal::write_snapshot_at(&dir, &g, 0).map_err(|e| format!("write snapshot: {e}"))?;
+        let wal =
+            Wal::create(&dir.join(WAL_FILE), cfg.fsync).map_err(|e| format!("create WAL: {e}"))?;
+        let ds = Dataset::new(name, g, mode);
+        ds.writer.lock().unwrap().persist = Some(DatasetPersist {
+            dir,
+            wal,
+            compact_every: cfg.compact_every.max(1),
+        });
+        Ok(ds)
+    }
+
+    /// Rebuilds a dataset from its directory: newest parseable snapshot,
+    /// then WAL tail replay (records at or before the snapshot epoch are
+    /// skipped; a torn tail is truncated). The maintainer mode comes from
+    /// the manifest, so a dataset recovers with the same serving semantics
+    /// it was created with.
+    pub fn recover(name: &str, cfg: &PersistConfig) -> Result<(Self, RecoveryReport), String> {
+        let dir = cfg.dir.join(name);
+        let (manifest_name, mode) = wal::read_manifest(&dir)?;
+        if manifest_name != name {
+            return Err(format!(
+                "manifest in {dir:?} names dataset {manifest_name:?}, expected {name:?}"
+            ));
+        }
+        let (snapshot_epoch, g) = wal::latest_snapshot(&dir)
+            .ok_or_else(|| format!("no parseable snapshot in {dir:?}"))?;
+        let (records, wal_handle, torn_tail) = Wal::recover(&dir.join(WAL_FILE), cfg.fsync)
+            .map_err(|e| format!("recover WAL in {dir:?}: {e}"))?;
+        let (mut maintainer, _, _) = Maintainer::build(&g, mode);
+        let n = maintainer.n();
+        let mut epoch = snapshot_epoch;
+        let mut ops_applied = 0u64;
+        let mut replayed = 0usize;
+        for rec in &records {
+            if rec.epoch <= snapshot_epoch {
+                continue; // compacted away logically; crash kept the bytes
+            }
+            if rec.epoch != epoch + 1 {
+                break; // an epoch gap means the tail is not trustworthy
+            }
+            for &op in &rec.ops {
+                let (u, v) = op.endpoints();
+                if (u as usize) >= n || (v as usize) >= n {
+                    continue;
+                }
+                if maintainer.apply(op) {
+                    ops_applied += 1;
+                }
+            }
+            epoch = rec.epoch;
+            replayed += 1;
+        }
+        let mut writer = Writer {
+            maintainer,
+            epoch,
+            ops_applied,
+            persist: Some(DatasetPersist {
+                dir,
+                wal: wal_handle,
+                compact_every: cfg.compact_every.max(1),
+            }),
+        };
+        let snapshot = Self::build_snapshot(mode, &mut writer);
+        let ds = Dataset {
+            name: name.to_string(),
+            mode,
+            writer: Mutex::new(writer),
+            current: RwLock::new(snapshot),
+            retired: AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        };
+        Ok((
+            ds,
+            RecoveryReport {
+                snapshot_epoch,
+                epoch,
+                replayed,
+                torn_tail,
+            },
+        ))
     }
 
     /// The dataset's catalog name.
@@ -285,7 +590,27 @@ impl Dataset {
         self.mode
     }
 
-    /// Total ops that changed the graph since load.
+    /// Whether this dataset journals its updates to a WAL.
+    pub fn persisted(&self) -> bool {
+        self.writer.lock().unwrap().persist.is_some()
+    }
+
+    /// Records currently in the WAL (0 when not persistent).
+    pub fn wal_records(&self) -> u64 {
+        self.writer
+            .lock()
+            .unwrap()
+            .persist
+            .as_ref()
+            .map_or(0, |p| p.wal.records())
+    }
+
+    /// Whether the dataset has been retired by DROP (writes are refused).
+    pub fn retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
+    }
+
+    /// Total ops that changed the graph since load or recovery.
     pub fn ops_applied(&self) -> u64 {
         self.writer.lock().unwrap().ops_applied
     }
@@ -297,49 +622,108 @@ impl Dataset {
 
     /// Applies one update batch through the maintainer and publishes a new
     /// epoch. Ops whose endpoints are out of range, self-loops, duplicate
-    /// inserts, and absent deletes are counted as skipped.
-    pub fn apply_updates(&self, ops: &[EdgeOp]) -> UpdateOutcome {
+    /// inserts, and absent deletes are counted as skipped. For a durable
+    /// dataset the raw batch is appended to the WAL (fsynced under
+    /// [`crate::wal::FsyncPolicy::Always`]) *before* the publish, and a compaction
+    /// runs afterwards once the WAL holds `compact_every` records.
+    ///
+    /// Errors when the dataset is retired, and on a WAL append failure —
+    /// in which case the dataset retires itself, because the in-memory
+    /// maintainer has advanced past what the log can replay.
+    pub fn apply_updates(&self, ops: &[EdgeOp]) -> Result<UpdateOutcome, String> {
         let mut w = self.writer.lock().unwrap();
-        let n = match &w.maintainer {
-            Maintainer::Local(li) => li.graph().n(),
-            Maintainer::Lazy(lz) => lz.graph().n(),
-            Maintainer::Delta(di) => di.graph().n(),
-        };
+        if self.retired() {
+            return Err(format!("dataset {:?} is retired", self.name));
+        }
+        let n = w.maintainer.n();
         let mut applied = 0usize;
         for &op in ops {
             let (u, v) = op.endpoints();
             if (u as usize) >= n || (v as usize) >= n {
                 continue; // skipped: out of range
             }
-            let changed = match &mut w.maintainer {
-                Maintainer::Local(li) => li.apply(op),
-                Maintainer::Lazy(lz) => lz.apply(op),
-                Maintainer::Delta(di) => di.apply(op),
-            };
-            if changed {
+            if w.maintainer.apply(op) {
                 applied += 1;
             }
         }
-        w.epoch += 1;
+        let epoch = w.epoch + 1;
+        if let Some(p) = w.persist.as_mut() {
+            let rec = WalRecord {
+                epoch,
+                ops: ops.to_vec(),
+            };
+            if let Err(e) = p.wal.append(&rec) {
+                self.retired.store(true, Ordering::SeqCst);
+                return Err(format!(
+                    "WAL append failed, dataset {:?} retired: {e}",
+                    self.name
+                ));
+            }
+            crash::abort_if("post-append");
+        }
+        w.epoch = epoch;
         w.ops_applied += applied as u64;
-        let snapshot = self.publish_locked(&mut w);
+        let snapshot = Self::build_snapshot(self.mode, &mut w);
         let (sn, sm) = (snapshot.graph.n(), snapshot.graph.m());
-        let epoch = snapshot.epoch;
         *self.current.write().unwrap() = snapshot;
-        UpdateOutcome {
+        if let Some(p) = w.persist.as_ref() {
+            if p.wal.records() >= p.compact_every {
+                if let Err(e) = Self::compact_locked(&mut w) {
+                    // Compaction failure is not fatal: the WAL still holds
+                    // every record a restart needs.
+                    eprintln!("egobtw: compaction of {:?} failed: {e}", self.name);
+                }
+            }
+        }
+        Ok(UpdateOutcome {
             epoch,
             applied,
             skipped: ops.len() - applied,
             n: sn,
             m: sm,
+        })
+    }
+
+    /// Forces a snapshot compaction now (also runs automatically every
+    /// `compact_every` batches). Returns the epoch the snapshot captures.
+    pub fn compact(&self) -> Result<u64, String> {
+        let mut w = self.writer.lock().unwrap();
+        if self.retired() {
+            return Err(format!("dataset {:?} is retired", self.name));
+        }
+        Self::compact_locked(&mut w)
+    }
+
+    fn compact_locked(w: &mut Writer) -> Result<u64, String> {
+        let epoch = w.epoch;
+        let g = w.maintainer.to_csr();
+        let Some(p) = w.persist.as_mut() else {
+            return Err("dataset is not persistent".into());
+        };
+        wal::write_snapshot_at(&p.dir, &g, epoch).map_err(|e| format!("write snapshot: {e}"))?;
+        p.wal.truncate().map_err(|e| format!("truncate WAL: {e}"))?;
+        Ok(epoch)
+    }
+
+    /// Retires the dataset: marks it refused-for-writes, waits for any
+    /// in-flight batch to drain (by taking the writer lock), and deletes
+    /// its on-disk directory. Readers holding old snapshots keep them
+    /// until they finish; new writes get an error.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+        let mut w = self.writer.lock().unwrap();
+        if let Some(p) = w.persist.take() {
+            let dir = p.dir.clone();
+            drop(p); // close the WAL handle before unlinking
+            let _ = fs::remove_dir_all(&dir);
         }
     }
 
     /// Builds the snapshot for the writer's current state. Called with the
     /// writer lock held; the expensive part (CSR rebuild, maintained
     /// top-k read-off) happens outside any reader-visible lock.
-    fn publish_locked(&self, w: &mut Writer) -> Arc<EpochSnapshot> {
-        let (graph, maintained, stale) = match (&mut w.maintainer, self.mode) {
+    fn build_snapshot(mode: Mode, w: &mut Writer) -> Arc<EpochSnapshot> {
+        let (graph, maintained, stale) = match (&mut w.maintainer, mode) {
             (Maintainer::Local(li), Mode::Local { publish_k }) => {
                 (Arc::new(li.graph().to_csr()), Some(li.top_k(publish_k)), 0)
             }
@@ -370,14 +754,14 @@ impl Dataset {
     /// engine on its snapshot) or the dataset is not lazy.
     pub fn refresh_maintained(&self, epoch: u64) -> Option<Vec<(VertexId, f64)>> {
         let mut w = self.writer.lock().unwrap();
-        if w.epoch != epoch {
+        if w.epoch != epoch || self.retired() {
             return None;
         }
         let Maintainer::Lazy(lz) = &mut w.maintainer else {
             return None;
         };
         let entries = lz.top_k();
-        let snapshot = self.publish_locked(&mut w);
+        let snapshot = Self::build_snapshot(self.mode, &mut w);
         debug_assert_eq!(snapshot.epoch, epoch);
         debug_assert!(snapshot.maintained.is_some());
         *self.current.write().unwrap() = snapshot;
@@ -393,35 +777,172 @@ impl Dataset {
     }
 }
 
-/// The named-dataset catalog.
-#[derive(Default)]
+struct UpdateJob {
+    ds: Arc<Dataset>,
+    ops: Vec<EdgeOp>,
+    reply: Sender<Result<UpdateOutcome, String>>,
+}
+
+struct WriterPool {
+    tx: Sender<UpdateJob>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WriterPool {
+    fn spawn(workers: usize) -> WriterPool {
+        let (tx, rx) = channel::<UpdateJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("egobtw-writer-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only to pull a job, never while
+                        // applying — co-workers must be able to pull jobs
+                        // for other datasets of this shard concurrently.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        };
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            job.ds.apply_updates(&job.ops)
+                        }))
+                        .unwrap_or_else(|_| Err("update worker panicked applying batch".into()));
+                        let _ = job.reply.send(result);
+                    })
+                    .expect("spawn writer thread")
+            })
+            .collect();
+        WriterPool { tx, handles }
+    }
+}
+
+struct Shard {
+    map: RwLock<HashMap<String, Arc<Dataset>>>,
+    pool: Mutex<Option<WriterPool>>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+            pool: Mutex::new(None),
+        }
+    }
+}
+
+/// Catalog construction knobs.
+#[derive(Clone, Debug)]
+pub struct CatalogConfig {
+    /// Independent shards (map locks + writer pools). Dataset names hash
+    /// to a shard; operations on different shards never contend.
+    pub shards: usize,
+    /// Writer threads per shard (spawned lazily on the first routed
+    /// update).
+    pub writers_per_shard: usize,
+    /// Durability; `None` keeps every dataset in-memory only.
+    pub persist: Option<PersistConfig>,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            shards: 8,
+            writers_per_shard: 2,
+            persist: None,
+        }
+    }
+}
+
+/// The named-dataset catalog, split into independent shards.
 pub struct Catalog {
-    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    shards: Vec<Shard>,
+    writers_per_shard: usize,
+    persist: Option<PersistConfig>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::with_config(CatalogConfig::default())
+    }
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty in-memory catalog with the default shard count.
     pub fn new() -> Self {
         Catalog::default()
     }
 
-    /// Registers a dataset built from `g`. Fails if the name is taken.
-    pub fn insert(&self, name: &str, g: CsrGraph, mode: Mode) -> Result<Arc<Dataset>, String> {
-        if name.is_empty() || !name.chars().all(|c| c.is_ascii_graphic()) {
-            return Err(format!("bad dataset name {name:?}"));
+    /// An empty catalog with explicit sharding/durability knobs.
+    pub fn with_config(cfg: CatalogConfig) -> Self {
+        Catalog {
+            shards: (0..cfg.shards.max(1)).map(|_| Shard::new()).collect(),
+            writers_per_shard: cfg.writers_per_shard.max(1),
+            persist: cfg.persist,
         }
-        let mut map = self.datasets.write().unwrap();
+    }
+
+    /// Checks a dataset name: non-empty, at most 200 bytes, charset
+    /// `[A-Za-z0-9._-]`, and not dots-only. Names become file-system path
+    /// components once durability is on, so `/`, `\`, `..` and friends
+    /// must never pass.
+    pub fn validate_name(name: &str) -> Result<(), String> {
+        let charset_ok = name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+        if name.is_empty() || name.len() > 200 || !charset_ok || name.bytes().all(|b| b == b'.') {
+            return Err(format!(
+                "bad dataset name {name:?}: need 1-200 chars of [A-Za-z0-9._-], not dots-only"
+            ));
+        }
+        Ok(())
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[self.shard_of(name)]
+    }
+
+    /// The shard index `name` hashes to.
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a64(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether datasets are created durable.
+    pub fn persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Registers a dataset built from `g`. Fails if the name is invalid
+    /// (see [`Catalog::validate_name`]) or taken. With durability on, the
+    /// dataset's directory, manifest, epoch-0 snapshot, and WAL are
+    /// created before the insert becomes visible.
+    pub fn insert(&self, name: &str, g: CsrGraph, mode: Mode) -> Result<Arc<Dataset>, String> {
+        Self::validate_name(name)?;
+        let shard = self.shard(name);
+        // Build under the shard's write lock: only this shard blocks, and
+        // two racing LOADs of one name cannot both create the directory.
+        let mut map = shard.map.write().unwrap();
         if map.contains_key(name) {
             return Err(format!("dataset {name:?} already loaded"));
         }
-        let ds = Arc::new(Dataset::new(name, g, mode));
+        let ds = Arc::new(match &self.persist {
+            Some(cfg) => Dataset::create_persistent(name, g, mode, cfg)?,
+            None => Dataset::new(name, g, mode),
+        });
         map.insert(name.to_string(), ds.clone());
         Ok(ds)
     }
 
     /// Looks a dataset up.
     pub fn get(&self, name: &str) -> Result<Arc<Dataset>, String> {
-        self.datasets
+        self.shard(name)
+            .map
             .read()
             .unwrap()
             .get(name)
@@ -431,20 +952,99 @@ impl Catalog {
 
     /// All dataset names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.datasets.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.map.read().unwrap().keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort();
         names
     }
 
-    /// Removes a dataset. Readers holding its snapshots keep them alive
-    /// until they finish.
+    /// Routes an update batch through the dataset's shard writer pool and
+    /// waits for the outcome. Batches for datasets in other shards run on
+    /// other pools concurrently.
+    pub fn apply_updates(&self, name: &str, ops: Vec<EdgeOp>) -> Result<UpdateOutcome, String> {
+        let ds = self.get(name)?;
+        let shard = self.shard(name);
+        let (reply_tx, reply_rx) = channel();
+        {
+            let mut pool = shard.pool.lock().unwrap();
+            let pool = pool.get_or_insert_with(|| WriterPool::spawn(self.writers_per_shard));
+            pool.tx
+                .send(UpdateJob {
+                    ds,
+                    ops,
+                    reply: reply_tx,
+                })
+                .map_err(|_| "writer pool is shut down".to_string())?;
+        }
+        reply_rx
+            .recv()
+            .map_err(|_| "writer pool dropped the batch".to_string())?
+    }
+
+    /// Removes a dataset: unlinks it from the map (new lookups fail
+    /// immediately), then retires it — draining any in-flight batch,
+    /// refusing later writes, and deleting its WAL + snapshots. Readers
+    /// holding its snapshots keep them alive until they finish.
     pub fn drop_dataset(&self, name: &str) -> Result<(), String> {
-        self.datasets
+        let ds = self
+            .shard(name)
+            .map
             .write()
             .unwrap()
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| format!("no dataset {name:?}"))
+            .ok_or_else(|| format!("no dataset {name:?}"))?;
+        // Outside the map lock: draining a mid-batch writer can take a
+        // while, and lookups of other datasets must not wait for it.
+        ds.retire();
+        Ok(())
+    }
+
+    /// Recovers every dataset directory under the persistence root
+    /// (directories holding a manifest), sorted by name. No-op for an
+    /// in-memory catalog.
+    pub fn recover_all(&self) -> Result<Vec<(String, RecoveryReport)>, String> {
+        let Some(cfg) = self.persist.clone() else {
+            return Ok(Vec::new());
+        };
+        let entries = match fs::read_dir(&cfg.dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(Vec::new()), // nothing persisted yet
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter(|e| e.path().join(wal::MANIFEST_FILE).is_file())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| Self::validate_name(n).is_ok())
+            .collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let (ds, report) = Dataset::recover(&name, &cfg)?;
+            self.shard(&name)
+                .map
+                .write()
+                .unwrap()
+                .insert(name.clone(), Arc::new(ds));
+            out.push((name, report));
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Catalog {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            let pool = shard.pool.lock().unwrap().take();
+            if let Some(pool) = pool {
+                drop(pool.tx); // close the channel so workers exit
+                for h in pool.handles {
+                    let _ = h.join();
+                }
+            }
+        }
     }
 }
 
@@ -496,7 +1096,9 @@ mod tests {
         let ds = Dataset::new("k", classic::karate_club(), Mode::default());
         let before = ds.snapshot();
         assert_eq!(before.epoch, 0);
-        let out = ds.apply_updates(&[EdgeOp::Insert(0, 9), EdgeOp::Insert(0, 9)]);
+        let out = ds
+            .apply_updates(&[EdgeOp::Insert(0, 9), EdgeOp::Insert(0, 9)])
+            .unwrap();
         assert_eq!(out.epoch, 1);
         assert_eq!((out.applied, out.skipped), (1, 1));
         let after = ds.snapshot();
@@ -510,12 +1112,14 @@ mod tests {
     #[test]
     fn out_of_range_and_self_loop_ops_are_skipped() {
         let ds = Dataset::new("k", classic::star(5), Mode::default());
-        let out = ds.apply_updates(&[
-            EdgeOp::Insert(0, 99), // out of range
-            EdgeOp::Insert(3, 3),  // self-loop
-            EdgeOp::Delete(1, 2),  // absent
-            EdgeOp::Insert(1, 2),  // applies
-        ]);
+        let out = ds
+            .apply_updates(&[
+                EdgeOp::Insert(0, 99), // out of range
+                EdgeOp::Insert(3, 3),  // self-loop
+                EdgeOp::Delete(1, 2),  // absent
+                EdgeOp::Insert(1, 2),  // applies
+            ])
+            .unwrap();
         assert_eq!((out.applied, out.skipped), (1, 3));
         assert_eq!(ds.ops_applied(), 1);
     }
@@ -547,7 +1151,8 @@ mod tests {
         };
         check(&ds.snapshot());
         // Deletes — the case where lazy defers — still publish exact.
-        ds.apply_updates(&[EdgeOp::Delete(0, 1), EdgeOp::Insert(9, 15)]);
+        ds.apply_updates(&[EdgeOp::Delete(0, 1), EdgeOp::Insert(9, 15)])
+            .unwrap();
         let snap = ds.snapshot();
         assert_eq!(snap.epoch, 1);
         assert_eq!(snap.stale_members, 0);
@@ -566,7 +1171,8 @@ mod tests {
         ds.apply_updates(&[EdgeOp::Delete(
             egobtw_gen::toy::ids::C,
             egobtw_gen::toy::ids::G,
-        )]);
+        )])
+        .unwrap();
         let snap = ds.snapshot();
         assert_eq!(snap.epoch, 1);
         assert!(snap.maintained.is_none(), "stale members defer publish");
@@ -578,7 +1184,7 @@ mod tests {
         assert_eq!(snap2.maintained.as_ref().unwrap(), &entries);
         assert!(Arc::ptr_eq(&snap.graph, &snap2.graph) || snap.graph.m() == snap2.graph.m());
         // Refresh for a stale epoch is refused.
-        ds.apply_updates(&[EdgeOp::Insert(0, 5)]);
+        ds.apply_updates(&[EdgeOp::Insert(0, 5)]).unwrap();
         assert!(ds.refresh_maintained(1).is_none());
     }
 
@@ -593,11 +1199,72 @@ mod tests {
         assert!(snap.cache_get(&key).is_none());
         snap.cache_put(key.clone(), Arc::new(vec![(0, 1.0)]));
         assert!(snap.cache_get(&key).is_some());
-        ds.apply_updates(&[EdgeOp::Insert(0, 9)]);
+        ds.apply_updates(&[EdgeOp::Insert(0, 9)]).unwrap();
         assert!(
             ds.snapshot().cache_get(&key).is_none(),
             "new epoch starts with an empty cache"
         );
+    }
+
+    #[test]
+    fn claim_coalesces_single_flight_per_key() {
+        let ds = Dataset::new("k", classic::karate_club(), Mode::default());
+        let snap = ds.snapshot();
+        let key = CacheKey::TopK {
+            engine: "auto".into(),
+            k: 3,
+        };
+        let Claim::Compute(ticket) = snap.claim(key.clone()) else {
+            panic!("first claim computes");
+        };
+        // Everyone else joins the pending slot while the ticket is open.
+        assert!(matches!(snap.claim(key.clone()), Claim::Wait(_)));
+        ticket.fulfill(Arc::new(vec![(0, 1.0)]));
+        assert!(matches!(snap.claim(key.clone()), Claim::Ready(_)));
+        assert!(snap.cache_get(&key).is_some());
+    }
+
+    #[test]
+    fn dropped_ticket_fails_waiters_and_vacates_slot() {
+        let ds = Dataset::new("k", classic::karate_club(), Mode::default());
+        let snap = ds.snapshot();
+        let key = CacheKey::TopK {
+            engine: "bsearch".into(),
+            k: 2,
+        };
+        let Claim::Compute(ticket) = snap.claim(key.clone()) else {
+            panic!("first claim computes");
+        };
+        let Claim::Wait(pending) = snap.claim(key.clone()) else {
+            panic!("second claim waits");
+        };
+        drop(ticket); // simulated panic in the computing requester
+        assert!(pending.wait().is_err());
+        // Slot is vacated: the next requester computes afresh.
+        assert!(matches!(snap.claim(key), Claim::Compute(_)));
+    }
+
+    #[test]
+    fn name_validation_rejects_path_shaped_names() {
+        for bad in [
+            "",
+            ".",
+            "..",
+            "...",
+            "a/b",
+            "../etc",
+            "a\\b",
+            "a b",
+            "a:b",
+            "a*",
+            "café",
+            &"x".repeat(201),
+        ] {
+            assert!(Catalog::validate_name(bad).is_err(), "{bad:?}");
+        }
+        for good in ["a", "karate--w10", "ds_1.snap", "A-Z.0", &"x".repeat(200)] {
+            assert!(Catalog::validate_name(good).is_ok(), "{good:?}");
+        }
     }
 
     #[test]
@@ -610,11 +1277,62 @@ mod tests {
         assert!(cat
             .insert("bad name", classic::star(4), Mode::default())
             .is_err());
+        assert!(cat
+            .insert("../traversal", classic::star(4), Mode::default())
+            .is_err());
         assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(cat.get("b").unwrap().mode(), Mode::Lazy { k: 2 });
         assert!(cat.get("c").is_err());
         cat.drop_dataset("a").unwrap();
         assert!(cat.drop_dataset("a").is_err());
         assert_eq!(cat.names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn dropped_dataset_refuses_writes() {
+        let cat = Catalog::new();
+        let ds = cat.insert("a", classic::star(6), Mode::default()).unwrap();
+        ds.apply_updates(&[EdgeOp::Insert(1, 2)]).unwrap();
+        cat.drop_dataset("a").unwrap();
+        assert!(ds.retired());
+        let err = ds.apply_updates(&[EdgeOp::Insert(2, 3)]).unwrap_err();
+        assert!(err.contains("retired"), "{err}");
+        // The name is free again.
+        cat.insert("a", classic::star(6), Mode::default()).unwrap();
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let cat = Catalog::with_config(CatalogConfig {
+            shards: 4,
+            ..CatalogConfig::default()
+        });
+        assert_eq!(cat.shard_count(), 4);
+        for name in ["a", "b", "karate--w10", "tenant-042"] {
+            let s = cat.shard_of(name);
+            assert!(s < 4);
+            assert_eq!(s, cat.shard_of(name), "stable");
+        }
+    }
+
+    #[test]
+    fn catalog_routes_updates_through_shard_pools() {
+        let cat = Catalog::with_config(CatalogConfig {
+            shards: 2,
+            writers_per_shard: 2,
+            persist: None,
+        });
+        cat.insert("a", classic::star(8), Mode::default()).unwrap();
+        cat.insert("b", classic::path(8), Mode::default()).unwrap();
+        let out = cat
+            .apply_updates("a", vec![EdgeOp::Insert(1, 2), EdgeOp::Insert(2, 3)])
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.applied, 2);
+        let out = cat.apply_updates("b", vec![EdgeOp::Insert(0, 2)]).unwrap();
+        assert_eq!(out.epoch, 1);
+        assert!(cat.apply_updates("zzz", vec![]).is_err());
+        // Pool threads are joined on drop without deadlocking.
+        drop(cat);
     }
 }

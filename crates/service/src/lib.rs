@@ -18,6 +18,15 @@
 //!   swap — readers clone an `Arc` and never block on maintenance work.
 //!   Each snapshot fronts hot queries with a result cache that dies with
 //!   its epoch, so invalidation is structural rather than tracked.
+//!   The catalog is sharded by dataset-name hash: independent map locks
+//!   and per-shard writer pools, so one dataset's writer storm never
+//!   blocks another shard's readers or writers.
+//! * [`wal`] — optional durability: a per-dataset write-ahead log of
+//!   `EdgeOp` batches (length-prefixed, FNV-1a-checksummed records,
+//!   fsynced *before* the epoch publishes) plus periodic snapshot
+//!   compaction. Restart = newest parseable snapshot + WAL tail replay;
+//!   torn tails truncate cleanly, and injected crash points let tests
+//!   kill the daemon at the nastiest moments and verify recovery.
 //! * [`service`] — the in-process API: parse → execute → render, shared
 //!   (`&self`) across any number of threads. Tests, examples, and the
 //!   loadgen's in-process mode use this directly and skip sockets.
@@ -43,8 +52,10 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod wal;
 
-pub use catalog::{Catalog, Dataset, EpochSnapshot, Mode};
+pub use catalog::{Catalog, CatalogConfig, Dataset, EpochSnapshot, Mode, RecoveryReport};
 pub use proto::{parse_command, read_frame, write_frame, Command};
 pub use server::Server;
 pub use service::{Reply, Service};
+pub use wal::{FsyncPolicy, PersistConfig};

@@ -12,13 +12,25 @@
 //! tie-aware comparator. A served answer that was stale, torn, or
 //! cache-leaked across epochs cannot pass.
 //!
-//! A run covers one or more **scenarios** (named read/write mixes, e.g.
-//! `read-heavy` at 10% writes and `update-heavy` at 50%): every dataset
-//! is driven once per scenario, under a catalog name mangled with the
-//! scenario name so epochs never bleed across scenarios. Results go to
-//! `BENCH_service.json` (schema `egobtw/bench-service/v2`), one record
-//! per (scenario, dataset) with throughput and read/update latency
-//! percentiles; [`validate`] is the CI schema check.
+//! A run covers one or more **scenarios**, each tagged with a `kind`:
+//!
+//! * `mixed` — named read/write mixes (e.g. `read-heavy` at 10% writes,
+//!   `update-heavy` at 50%): every dataset is driven once per scenario,
+//!   under a catalog name mangled with the scenario name so epochs never
+//!   bleed across scenarios.
+//! * `recovery` — per dataset: a write burst into a WAL-backed in-process
+//!   service, a full teardown, a **timed restart recovery**, then an
+//!   oracle-checked read phase against the recovered epoch.
+//! * `skew` — all datasets driven **concurrently** against one catalog,
+//!   with every write aimed at the first (hot) dataset: the sharded
+//!   catalog's worst case, cold readers must not stall behind the hot
+//!   shard's writer storm.
+//! * `multi-tenant` — 100+ tiny synthesized datasets in one catalog with
+//!   light per-tenant traffic; one aggregate record.
+//!
+//! Results go to `BENCH_service.json` (schema `egobtw/bench-service/v3`),
+//! one record per (scenario, dataset) with throughput and read/update
+//! latency percentiles; [`validate`] is the CI schema check.
 //!
 //! The oracle check replays the writer's stream from scratch per sampled
 //! epoch with a cubic-per-vertex reference, so it is automatically
@@ -26,10 +38,11 @@
 //! [`LoadgenConfig::check_max_n`] — large graphs get throughput numbers,
 //! small ones get proofs.
 
-use crate::catalog::Mode;
+use crate::catalog::{CatalogConfig, Mode};
 use crate::proto::parse_entries;
 use crate::server::{connect_with_retry, roundtrip};
 use crate::service::Service;
+use crate::wal::{FsyncPolicy, PersistConfig};
 use conformance::{check_topk, REL_TOL};
 use egobtw_bench::json::Json;
 use egobtw_core::naive::ego_betweenness_reference;
@@ -44,7 +57,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Schema tag written into `BENCH_service.json`.
-pub const SCHEMA: &str = "egobtw/bench-service/v2";
+pub const SCHEMA: &str = "egobtw/bench-service/v3";
 
 /// One named read/write mix of a run.
 #[derive(Clone, Debug)]
@@ -54,6 +67,21 @@ pub struct MixSpec {
     pub name: String,
     /// Fraction of ops that are edge updates (e.g. `0.5` for 50/50).
     pub write_frac: f64,
+}
+
+/// Which non-mix scenarios a run should include beyond its `mixed` ones.
+#[derive(Clone, Debug, Default)]
+pub struct ExtraScenarios {
+    /// Run the `restart-recovery` scenario (WAL burst → teardown → timed
+    /// recovery → oracle-checked reads). Always in-process: a restart
+    /// cannot be driven through a TCP target.
+    pub recovery: bool,
+    /// Run the `shard-skew` scenario (all datasets concurrent, writes
+    /// concentrated on the first). Needs at least two datasets.
+    pub skew: bool,
+    /// Tenant count for the `multi-tenant` scenario (`0` = off, minimum
+    /// 2). Always in-process on synthesized tiny graphs.
+    pub tenants: usize,
 }
 
 /// Workload shape shared by every dataset in a run.
@@ -446,51 +474,384 @@ fn run_dataset(
         (0, 0)
     };
 
-    let total_ops = read_ns.len() + writer_log.update_ns.len();
-    let throughput = total_ops as f64 / wall.as_secs_f64().max(1e-9);
-    Ok(Json::Obj(vec![
-        ("name".into(), Json::Str(spec.name.clone())),
-        ("scenario".into(), Json::Str(mix.name.clone())),
-        ("n".into(), Json::Num(n as f64)),
-        ("m".into(), Json::Num(spec.g0.m() as f64)),
-        ("mode".into(), Json::Str(spec.mode.render())),
-        ("threads".into(), Json::Num(cfg.threads as f64)),
-        ("reads".into(), Json::Num(read_ns.len() as f64)),
-        (
-            "updates".into(),
-            Json::Num(writer_log.update_ns.len() as f64),
-        ),
+    Ok(record_json(RecordCore {
+        name: spec.name.clone(),
+        scenario: mix.name.clone(),
+        n,
+        m: spec.g0.m(),
+        mode: spec.mode,
+        threads: cfg.threads,
+        read_ns,
+        update_ns: writer_log.update_ns,
+        epochs_published: writer_log.epochs.len(),
+        wall,
+        check,
+        checked,
+        violations,
+        extra: Vec::new(),
+    }))
+}
+
+/// The shared shape of a per-dataset record; scenario-specific fields
+/// ride in `extra` so every kind validates against the same core.
+struct RecordCore {
+    name: String,
+    scenario: String,
+    n: usize,
+    m: usize,
+    mode: Mode,
+    threads: usize,
+    read_ns: Vec<u64>,
+    update_ns: Vec<u64>,
+    epochs_published: usize,
+    wall: std::time::Duration,
+    check: bool,
+    checked: usize,
+    violations: usize,
+    extra: Vec<(String, Json)>,
+}
+
+fn record_json(core: RecordCore) -> Json {
+    let total_ops = core.read_ns.len() + core.update_ns.len();
+    let throughput = total_ops as f64 / core.wall.as_secs_f64().max(1e-9);
+    let mut fields = vec![
+        ("name".into(), Json::Str(core.name)),
+        ("scenario".into(), Json::Str(core.scenario)),
+        ("n".into(), Json::Num(core.n as f64)),
+        ("m".into(), Json::Num(core.m as f64)),
+        ("mode".into(), Json::Str(core.mode.render())),
+        ("threads".into(), Json::Num(core.threads as f64)),
+        ("reads".into(), Json::Num(core.read_ns.len() as f64)),
+        ("updates".into(), Json::Num(core.update_ns.len() as f64)),
         (
             "epochs_published".into(),
-            Json::Num(writer_log.epochs.len() as f64),
+            Json::Num(core.epochs_published as f64),
         ),
-        ("wall_ms".into(), Json::Num(wall.as_secs_f64() * 1000.0)),
+        (
+            "wall_ms".into(),
+            Json::Num(core.wall.as_secs_f64() * 1000.0),
+        ),
         ("throughput_ops_per_sec".into(), Json::Num(throughput)),
-        ("read_latency".into(), latency_json(read_ns)),
-        ("update_latency".into(), latency_json(writer_log.update_ns)),
+        ("read_latency".into(), latency_json(core.read_ns)),
+        ("update_latency".into(), latency_json(core.update_ns)),
         (
             "comparator".into(),
             Json::Obj(vec![
-                ("enabled".into(), Json::Bool(check)),
-                ("checked".into(), Json::Num(checked as f64)),
-                ("violations".into(), Json::Num(violations as f64)),
+                ("enabled".into(), Json::Bool(core.check)),
+                ("checked".into(), Json::Num(core.checked as f64)),
+                ("violations".into(), Json::Num(core.violations as f64)),
             ]),
         ),
+    ];
+    fields.extend(core.extra);
+    Json::Obj(fields)
+}
+
+/// `restart-recovery`, one dataset: write burst into a WAL-backed
+/// in-process service → full teardown → **timed** restart recovery →
+/// read phase whose sampled answers are oracle-checked against the
+/// writer's durable op prefix at the recovered epoch.
+fn run_recovery_dataset(
+    cfg: &LoadgenConfig,
+    spec: &DatasetSpec,
+    scenario: &str,
+) -> Result<Json, String> {
+    let catalog_name = format!("{}--{}", spec.name, scenario);
+    let n = spec.g0.n();
+    if n < 2 {
+        return Err(format!("dataset {} too small to drive", spec.name));
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "egobtw-loadgen-recovery-{}-{}",
+        std::process::id(),
+        catalog_name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mk_service = || {
+        Service::with_config(CatalogConfig {
+            shards: 4,
+            writers_per_shard: 2,
+            persist: Some(PersistConfig {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Always,
+                compact_every: 64,
+            }),
+        })
+    };
+    let check = cfg.check && n <= cfg.check_max_n;
+    let updates = (cfg.ops / 2).max(cfg.batch.max(1));
+    let reads = cfg.ops.saturating_sub(updates).max(32);
+    let plan = WorkerPlan {
+        name: &catalog_name,
+        n,
+        k: cfg.k,
+        seed: cfg.seed,
+        check,
+        sample_every: (reads / 64).max(1),
+    };
+
+    let t0 = Instant::now();
+    let service = mk_service();
+    service.load_graph(&catalog_name, spec.g0.clone(), spec.mode)?;
+    let mut mirror = DynGraph::from_csr(&spec.g0);
+    let mut ops_log: Vec<EdgeOp> = Vec::with_capacity(updates);
+    let mut conn = Conn::InProc(&service);
+    let writer_log = writer_loop(
+        &mut conn,
+        &plan,
+        updates,
+        cfg.batch.max(1),
+        &mut mirror,
+        &mut ops_log,
+    )?;
+    drop(conn);
+    drop(service); // teardown: pools joined, WAL handle closed
+
+    let service = mk_service();
+    let t_rec = Instant::now();
+    let reports = service.recover()?;
+    let recovery_ms = t_rec.elapsed().as_secs_f64() * 1000.0;
+    let report = reports
+        .iter()
+        .find(|(name, _)| name == &catalog_name)
+        .map(|&(_, r)| r)
+        .ok_or_else(|| format!("recovery rebuilt no dataset {catalog_name:?}"))?;
+    let published = writer_log.epochs.last().map_or(0, |&(e, _)| e);
+    if report.epoch != published {
+        return Err(format!(
+            "{catalog_name}: recovered epoch {} but the burst published {published}",
+            report.epoch
+        ));
+    }
+
+    let mut conn = Conn::InProc(&service);
+    let reader_log = reader_loop(&mut conn, &plan, reads)?;
+    let wall = t0.elapsed();
+
+    let (checked, violations) = if check {
+        let mut epoch_prefix: HashMap<u64, usize> = writer_log.epochs.iter().copied().collect();
+        epoch_prefix.insert(0, 0);
+        let violations = check_samples(&spec.g0, &ops_log, &epoch_prefix, &reader_log.samples);
+        for v in &violations {
+            eprintln!("loadgen[{catalog_name}]: COMPARATOR VIOLATION (post-recovery): {v}");
+        }
+        (reader_log.samples.len(), violations.len())
+    } else {
+        (0, 0)
+    };
+    drop(conn);
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(record_json(RecordCore {
+        name: spec.name.clone(),
+        scenario: scenario.to_string(),
+        n,
+        m: spec.g0.m(),
+        mode: spec.mode,
+        threads: 1,
+        read_ns: reader_log.read_ns,
+        update_ns: writer_log.update_ns,
+        epochs_published: writer_log.epochs.len(),
+        wall,
+        check,
+        checked,
+        violations,
+        extra: vec![
+            ("recovery_ms".into(), Json::Num(recovery_ms)),
+            ("recovered_epoch".into(), Json::Num(report.epoch as f64)),
+            (
+                "snapshot_epoch".into(),
+                Json::Num(report.snapshot_epoch as f64),
+            ),
+            ("wal_replayed".into(), Json::Num(report.replayed as f64)),
+        ],
+    }))
+}
+
+/// `shard-skew`: every dataset drives **concurrently** against the same
+/// target, all writes aimed at the first (hot) one — cold readers ride
+/// other shards and must not stall behind the hot shard's writer storm.
+fn run_skew_scenario(
+    target: &Target<'_>,
+    cfg: &LoadgenConfig,
+    specs: &[DatasetSpec],
+) -> Result<Json, String> {
+    const NAME: &str = "shard-skew";
+    if specs.len() < 2 {
+        return Err("shard-skew scenario needs at least 2 datasets".into());
+    }
+    let results: Vec<Result<Json, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                scope.spawn(move || {
+                    let role = if i == 0 { "hot" } else { "cold" };
+                    let mix = MixSpec {
+                        name: NAME.into(),
+                        write_frac: if i == 0 { 0.5 } else { 0.0 },
+                    };
+                    run_dataset(target, cfg, spec, &mix).map(|record| match record {
+                        Json::Obj(mut fields) => {
+                            fields.push(("role".into(), Json::Str(role.into())));
+                            Json::Obj(fields)
+                        }
+                        other => other,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let datasets = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(Json::Obj(vec![
+        ("name".into(), Json::Str(NAME.into())),
+        ("kind".into(), Json::Str("skew".into())),
+        ("write_frac".into(), Json::Num(0.5)),
+        ("datasets".into(), Json::Arr(datasets)),
+    ]))
+}
+
+/// `multi-tenant`: `tenants` tiny synthesized datasets in one sharded
+/// in-process catalog, light concurrent traffic on each, every sampled
+/// answer oracle-checked (the graphs are small enough to check all of
+/// them), one aggregate record.
+fn run_multi_tenant_scenario(cfg: &LoadgenConfig, tenants: usize) -> Result<Json, String> {
+    const NAME: &str = "multi-tenant";
+    if tenants < 2 {
+        return Err("multi-tenant scenario needs at least 2 tenants".into());
+    }
+    let service = Service::with_config(CatalogConfig {
+        shards: 8,
+        writers_per_shard: 2,
+        persist: None,
+    });
+    let t0 = Instant::now();
+    let graphs: Vec<CsrGraph> = (0..tenants)
+        .map(|i| egobtw_gen::gnp(20, 0.18, cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)))
+        .collect();
+    for (i, g) in graphs.iter().enumerate() {
+        service.load_graph(&format!("ten{i:04}"), g.clone(), Mode::default())?;
+    }
+
+    struct TenantLog {
+        log: ThreadLog,
+        ops: Vec<EdgeOp>,
+        tenant: usize,
+    }
+    let worker_threads = cfg.threads.max(1);
+    let outcomes: Vec<Result<Vec<TenantLog>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_threads)
+            .map(|t| {
+                let (service, graphs) = (&service, &graphs);
+                scope.spawn(move || {
+                    let mut logs = Vec::new();
+                    for tenant in (t..tenants).step_by(worker_threads) {
+                        let name = format!("ten{tenant:04}");
+                        let g0 = &graphs[tenant];
+                        let plan = WorkerPlan {
+                            name: &name,
+                            n: g0.n(),
+                            k: cfg.k,
+                            seed: cfg.seed ^ (tenant as u64 + 1),
+                            check: cfg.check,
+                            sample_every: 3,
+                        };
+                        let mut mirror = DynGraph::from_csr(g0);
+                        let mut ops = Vec::new();
+                        let mut conn = Conn::InProc(service);
+                        let mut log = writer_loop(
+                            &mut conn,
+                            &plan,
+                            cfg.batch.max(1) * 3,
+                            cfg.batch.max(1),
+                            &mut mirror,
+                            &mut ops,
+                        )?;
+                        let reads = reader_loop(&mut conn, &plan, 8)?;
+                        log.read_ns = reads.read_ns;
+                        log.samples = reads.samples;
+                        logs.push(TenantLog { log, ops, tenant });
+                    }
+                    Ok(logs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut read_ns = Vec::new();
+    let mut update_ns = Vec::new();
+    let mut epochs_published = 0usize;
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    for outcome in outcomes {
+        for tl in outcome? {
+            if cfg.check {
+                let mut epoch_prefix: HashMap<u64, usize> = tl.log.epochs.iter().copied().collect();
+                epoch_prefix.insert(0, 0);
+                let bad =
+                    check_samples(&graphs[tl.tenant], &tl.ops, &epoch_prefix, &tl.log.samples);
+                for v in &bad {
+                    eprintln!("loadgen[ten{:04}]: COMPARATOR VIOLATION: {v}", tl.tenant);
+                }
+                checked += tl.log.samples.len();
+                violations += bad.len();
+            }
+            read_ns.extend(tl.log.read_ns);
+            update_ns.extend(tl.log.update_ns);
+            epochs_published += tl.log.epochs.len();
+        }
+    }
+    let (total_n, total_m) = graphs
+        .iter()
+        .fold((0, 0), |(n, m), g| (n + g.n(), m + g.m()));
+    let record = record_json(RecordCore {
+        name: "tenants".into(),
+        scenario: NAME.into(),
+        n: total_n,
+        m: total_m,
+        mode: Mode::default(),
+        threads: worker_threads,
+        read_ns,
+        update_ns,
+        epochs_published,
+        wall,
+        check: cfg.check,
+        checked,
+        violations,
+        extra: vec![("tenants".into(), Json::Num(tenants as f64))],
+    });
+    Ok(Json::Obj(vec![
+        ("name".into(), Json::Str(NAME.into())),
+        ("kind".into(), Json::Str("multi-tenant".into())),
+        (
+            "write_frac".into(),
+            Json::Num({
+                let w = (cfg.batch.max(1) * 3) as f64;
+                w / (w + 8.0)
+            }),
+        ),
+        ("datasets".into(), Json::Arr(vec![record])),
     ]))
 }
 
 /// Runs the full workload: every scenario in `mixes` drives every dataset
 /// in `specs`, one (scenario, dataset) pair after another (each gets the
-/// configured thread count to itself), returning the
-/// `BENCH_service.json` document. With `mixes` empty, a single `default`
-/// scenario at `cfg.write_frac` runs. Fails on any worker error;
-/// comparator violations are *reported in the document*, not fatal, so
-/// the caller (CI) can assert on them explicitly.
+/// configured thread count to itself), then any [`ExtraScenarios`] —
+/// restart-recovery, shard-skew, multi-tenant — and returns the
+/// `BENCH_service.json` document. With `mixes` empty and no extras, a
+/// single `default` mix at `cfg.write_frac` runs. Fails on any worker
+/// error; comparator violations are *reported in the document*, not
+/// fatal, so the caller (CI) can assert on them explicitly.
 pub fn run(
     target: &Target<'_>,
     cfg: &LoadgenConfig,
     specs: &[DatasetSpec],
     mixes: &[MixSpec],
+    extras: &ExtraScenarios,
 ) -> Result<Json, String> {
     if specs.is_empty() {
         return Err("loadgen needs at least one dataset".into());
@@ -499,7 +860,7 @@ pub fn run(
         name: "default".into(),
         write_frac: cfg.write_frac,
     }];
-    let mixes = if mixes.is_empty() {
+    let mixes = if mixes.is_empty() && !(extras.recovery || extras.skew || extras.tenants > 0) {
         &default_mix
     } else {
         mixes
@@ -520,9 +881,28 @@ pub fn run(
         }
         scenarios.push(Json::Obj(vec![
             ("name".into(), Json::Str(mix.name.clone())),
+            ("kind".into(), Json::Str("mixed".into())),
             ("write_frac".into(), Json::Num(mix.write_frac)),
             ("datasets".into(), Json::Arr(datasets)),
         ]));
+    }
+    if extras.recovery {
+        let mut datasets = Vec::new();
+        for spec in specs {
+            datasets.push(run_recovery_dataset(cfg, spec, "restart-recovery")?);
+        }
+        scenarios.push(Json::Obj(vec![
+            ("name".into(), Json::Str("restart-recovery".into())),
+            ("kind".into(), Json::Str("recovery".into())),
+            ("write_frac".into(), Json::Num(0.5)),
+            ("datasets".into(), Json::Arr(datasets)),
+        ]));
+    }
+    if extras.skew {
+        scenarios.push(run_skew_scenario(target, cfg, specs)?);
+    }
+    if extras.tenants > 0 {
+        scenarios.push(run_multi_tenant_scenario(cfg, extras.tenants)?);
     }
     Ok(Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -550,9 +930,12 @@ pub fn run(
 }
 
 /// Schema check for a `BENCH_service.json` document: the right schema
-/// tag, at least `min_scenarios` scenario records each holding at least
-/// `min_datasets` dataset records, and every record carrying finite, sane
-/// core metrics. Returns the first problem found.
+/// tag, at least `min_scenarios` scenario records with known kinds,
+/// every **mixed** scenario holding at least `min_datasets` dataset
+/// records, every record carrying finite, sane core metrics, and the
+/// kind-specific fields present (`recovery_ms`/`recovered_epoch` on
+/// recovery records, `role` on skew records, `tenants` on multi-tenant).
+/// Returns the first problem found.
 pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result<(), String> {
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("schema tag is not {SCHEMA:?}"));
@@ -572,6 +955,13 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
             .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("scenario {si}: no name"))?;
+        let kind = sc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario {sc_name:?}: no kind"))?;
+        if !["mixed", "recovery", "skew", "multi-tenant"].contains(&kind) {
+            return Err(format!("scenario {sc_name:?}: unknown kind {kind:?}"));
+        }
         sc.get("write_frac")
             .and_then(Json::as_num)
             .filter(|x| (0.0..=1.0).contains(x))
@@ -580,9 +970,14 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
             .get("datasets")
             .and_then(Json::as_arr)
             .ok_or(format!("scenario {sc_name:?}: no datasets array"))?;
-        if datasets.len() < min_datasets {
+        let floor = match kind {
+            "mixed" => min_datasets.max(1),
+            "skew" => 2,
+            _ => 1,
+        };
+        if datasets.len() < floor {
             return Err(format!(
-                "scenario {sc_name:?}: {} dataset record(s), expected at least {min_datasets}",
+                "scenario {sc_name:?}: {} dataset record(s), expected at least {floor}",
                 datasets.len()
             ));
         }
@@ -631,6 +1026,30 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
                 return Err(format!(
                     "dataset {name:?}: {violations} comparator violation(s)"
                 ));
+            }
+            match kind {
+                "recovery" => {
+                    num("recovery_ms")?;
+                    if num("recovered_epoch")? < 1.0 {
+                        return Err(format!(
+                            "dataset {name:?}: recovery scenario recovered no epochs"
+                        ));
+                    }
+                    num("wal_replayed")?;
+                }
+                "skew" => {
+                    ds.get("role")
+                        .and_then(Json::as_str)
+                        .filter(|r| ["hot", "cold"].contains(r))
+                        .ok_or(format!("dataset {name:?}: skew record needs a role"))?;
+                }
+                "multi-tenant" => {
+                    let tenants = num("tenants")?;
+                    if tenants < 2.0 {
+                        return Err(format!("dataset {name:?}: fewer than 2 tenants"));
+                    }
+                }
+                _ => {}
             }
         }
     }

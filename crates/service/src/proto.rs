@@ -17,7 +17,8 @@
 //! UPDATE <name> (+u,v | -u,v)...                apply an edge-op batch
 //! STATS  <name>                                 dataset counters
 //! LIST                                          catalog contents
-//! DROP   <name>                                 remove a dataset
+//! DROP   <name>                                 remove a dataset (retire + delete WAL)
+//! COMPACT <name>                                force a snapshot compaction now
 //! PING                                          liveness probe
 //! ```
 
@@ -59,10 +60,17 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
     if <&mut R as io::Read>::take(&mut *r, MAX_LEN_LINE).read_line(&mut len_line)? == 0 {
         return Ok(None);
     }
-    if !len_line.ends_with('\n') && len_line.len() as u64 == MAX_LEN_LINE {
+    if !len_line.ends_with('\n') {
+        // Either the peer is streaming digits with no terminator (cap
+        // hit) or the connection died inside the prefix — a prefix at
+        // EOF must not round down to a phantom frame.
         return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame length prefix too long",
+            if len_line.len() as u64 == MAX_LEN_LINE {
+                io::ErrorKind::InvalidData
+            } else {
+                io::ErrorKind::UnexpectedEof
+            },
+            "unterminated frame length prefix",
         ));
     }
     let len: usize = len_line
@@ -136,6 +144,11 @@ pub enum Command {
     List,
     /// Drop a dataset.
     Drop {
+        /// Dataset name.
+        name: String,
+    },
+    /// Force a snapshot compaction of a persistent dataset.
+    Compact {
         /// Dataset name.
         name: String,
     },
@@ -229,6 +242,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "DROP" => Command::Drop {
             name: it.next().ok_or("DROP needs a name")?.to_string(),
         },
+        "COMPACT" => Command::Compact {
+            name: it.next().ok_or("COMPACT needs a name")?.to_string(),
+        },
         "PING" => Command::Ping,
         other => return Err(format!("unknown verb {other:?}")),
     };
@@ -318,11 +334,15 @@ mod tests {
         let endless = "9".repeat(4096);
         let mut r = BufReader::new(endless.as_bytes());
         let err = read_frame(&mut r).unwrap_err();
-        assert!(err.to_string().contains("too long"), "{err}");
-        // A newline-free prefix *shorter* than the cap is a plain EOF
-        // mid-prefix, which parses (then fails) rather than hanging.
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        // A newline-free prefix *shorter* than the cap is a connection
+        // that died mid-prefix: an EOF error, never a phantom frame
+        // (an empty payload's prefix cut at `0` used to slip through).
         let mut r = BufReader::new("123".as_bytes());
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+        let mut r = BufReader::new("0".as_bytes());
+        assert!(read_frame(&mut r).is_err(), "cut empty-frame prefix");
     }
 
     #[test]
@@ -391,6 +411,10 @@ mod tests {
             parse_command("DROP g").unwrap(),
             Command::Drop { name: "g".into() }
         );
+        assert_eq!(
+            parse_command("COMPACT g").unwrap(),
+            Command::Compact { name: "g".into() }
+        );
     }
 
     #[test]
@@ -413,6 +437,8 @@ mod tests {
             "LOAD g p weird-mode",
             "LIST extra",
             "DROP",
+            "COMPACT",
+            "COMPACT g extra",
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
         }

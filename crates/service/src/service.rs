@@ -20,7 +20,9 @@
 //! 4. the default search engine (OptBSearch, θ=1.05) on the snapshot,
 //!    cached for the epoch.
 
-use crate::catalog::{CacheKey, Catalog, Mode};
+use crate::catalog::{
+    CacheKey, Catalog, CatalogConfig, Claim, EpochSnapshot, Mode, RecoveryReport,
+};
 use crate::proto::{format_entries, parse_command, Command};
 use egobtw_core::naive::ego_betweenness_of;
 use egobtw_core::opt_search::{opt_bsearch, OptParams};
@@ -41,6 +43,9 @@ pub enum TopkSource {
     Refreshed,
     /// Served from the per-epoch result cache.
     Cache,
+    /// Joined another requester's in-flight computation of the same
+    /// (engine, k) at the same epoch and waited for its answer.
+    Coalesced,
     /// Computed by the named engine on the snapshot (and cached).
     Engine(String),
 }
@@ -51,6 +56,7 @@ impl TopkSource {
             TopkSource::Maintained => "maintained".into(),
             TopkSource::Refreshed => "refreshed".into(),
             TopkSource::Cache => "cache".into(),
+            TopkSource::Coalesced => "coalesced".into(),
             TopkSource::Engine(name) => format!("engine({name})"),
         }
     }
@@ -135,6 +141,14 @@ pub enum Reply {
         cache_hits: u64,
         /// Cumulative cache misses.
         cache_misses: u64,
+        /// Queries that coalesced onto another requester's computation.
+        coalesced: u64,
+        /// Catalog shard this dataset hashes to.
+        shard: usize,
+        /// Whether updates are journaled to a WAL.
+        persisted: bool,
+        /// Records currently in the WAL (0 when not persisted).
+        wal_records: u64,
     },
     /// LIST answer.
     List(
@@ -146,6 +160,13 @@ pub enum Reply {
         /// Dataset name.
         String,
     ),
+    /// COMPACT succeeded.
+    Compacted {
+        /// Dataset name.
+        name: String,
+        /// Epoch the fresh snapshot captures.
+        epoch: u64,
+    },
     /// PING answer.
     Pong,
 }
@@ -212,15 +233,21 @@ impl Reply {
                 ops_applied,
                 cache_hits,
                 cache_misses,
+                coalesced,
+                shard,
+                persisted,
+                wal_records,
             } => format!(
                 "OK stats name={name} epoch={epoch} n={n} m={m} mode={} maintained={} \
                  stale_members={stale_members} ops_applied={ops_applied} \
-                 cache_hits={cache_hits} cache_misses={cache_misses}",
+                 cache_hits={cache_hits} cache_misses={cache_misses} coalesced={coalesced} \
+                 shard={shard} persisted={persisted} wal_records={wal_records}",
                 mode.render(),
                 maintained.map_or_else(|| "none".into(), |l| l.to_string()),
             ),
             Reply::List(names) => format!("OK list datasets={}", names.join(",")),
             Reply::Dropped(name) => format!("OK drop name={name}"),
+            Reply::Compacted { name, epoch } => format!("OK compact name={name} epoch={epoch}"),
             Reply::Pong => "OK pong".into(),
         }
     }
@@ -264,12 +291,26 @@ impl Default for Service {
 }
 
 impl Service {
-    /// An empty service with the full builtin engine registry.
+    /// An empty in-memory service with the full builtin engine registry.
     pub fn new() -> Self {
+        Service::with_config(CatalogConfig::default())
+    }
+
+    /// A service with explicit catalog knobs (shard count, writer pool
+    /// width, durability). Recovery of previously persisted datasets is a
+    /// separate, explicit step: [`Service::recover`].
+    pub fn with_config(cfg: CatalogConfig) -> Self {
         Service {
-            catalog: Catalog::new(),
+            catalog: Catalog::with_config(cfg),
             engines: builtin_engines(),
         }
+    }
+
+    /// Recovers every dataset directory under the persistence root (newest
+    /// parseable snapshot + WAL tail replay). Returns what was rebuilt,
+    /// sorted by name; empty for an in-memory service.
+    pub fn recover(&self) -> Result<Vec<(String, RecoveryReport)>, String> {
+        self.catalog.recover_all()
     }
 
     /// The catalog (for direct inspection in tests and tools).
@@ -309,37 +350,53 @@ impl Service {
     fn run_engine_cached(
         &self,
         ds: &crate::catalog::Dataset,
-        snap: &crate::catalog::EpochSnapshot,
+        snap: &Arc<EpochSnapshot>,
         engine_name: &str,
         k: usize,
     ) -> Result<(crate::catalog::SharedEntries, TopkSource), String> {
+        // Resolve the engine before claiming a cache slot, so an unknown
+        // name can never leave a pending slot behind.
+        let engine = if engine_name == "auto" {
+            None
+        } else {
+            Some(
+                self.engines
+                    .iter()
+                    .find(|e| e.name() == engine_name)
+                    .ok_or_else(|| format!("unknown engine {engine_name:?}"))?,
+            )
+        };
         let key = CacheKey::TopK {
             engine: engine_name.to_string(),
             k,
         };
-        if let Some(hit) = snap.cache_get(&key) {
-            ds.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((hit, TopkSource::Cache));
+        match snap.claim(key) {
+            Claim::Ready(hit) => {
+                ds.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((hit, TopkSource::Cache))
+            }
+            Claim::Wait(pending) => {
+                // Identical query in flight: wait for its answer instead
+                // of burning another engine run on the same epoch.
+                ds.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok((pending.wait()?, TopkSource::Coalesced))
+            }
+            Claim::Compute(ticket) => {
+                ds.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let entries: Vec<(VertexId, f64)> = match engine {
+                    None => opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries,
+                    Some(engine) => engine.topk(&snap.graph, k),
+                };
+                let entries = Arc::new(entries);
+                ticket.fulfill(entries.clone());
+                let label = if engine_name == "auto" {
+                    "core::opt_search(θ=1.05)".to_string()
+                } else {
+                    engine_name.to_string()
+                };
+                Ok((entries, TopkSource::Engine(label)))
+            }
         }
-        ds.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let entries: Vec<(VertexId, f64)> = if engine_name == "auto" {
-            opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries
-        } else {
-            let engine = self
-                .engines
-                .iter()
-                .find(|e| e.name() == engine_name)
-                .ok_or_else(|| format!("unknown engine {engine_name:?}"))?;
-            engine.topk(&snap.graph, k)
-        };
-        let entries = Arc::new(entries);
-        snap.cache_put(key, entries.clone());
-        let label = if engine_name == "auto" {
-            "core::opt_search(θ=1.05)".to_string()
-        } else {
-            engine_name.to_string()
-        };
-        Ok((entries, TopkSource::Engine(label)))
     }
 
     fn topk(&self, name: &str, k: usize, engine: &str) -> Result<Reply, String> {
@@ -442,6 +499,10 @@ impl Service {
             ops_applied: ds.ops_applied(),
             cache_hits: ds.cache_hits.load(Ordering::Relaxed),
             cache_misses: ds.cache_misses.load(Ordering::Relaxed),
+            coalesced: ds.coalesced.load(Ordering::Relaxed),
+            shard: self.catalog.shard_of(name),
+            persisted: ds.persisted(),
+            wal_records: ds.wal_records(),
         })
     }
 
@@ -453,14 +514,24 @@ impl Service {
             Command::Score { name, vertices } => self.score(name, vertices),
             Command::Common { name, u, v } => self.common(name, *u, *v),
             Command::Update { name, ops } => {
-                let ds = self.catalog.get(name)?;
-                Ok(Reply::Update(name.clone(), ds.apply_updates(ops)))
+                // Routed through the dataset's shard writer pool: a storm
+                // on one shard never blocks other shards' writers.
+                let out = self.catalog.apply_updates(name, ops.clone())?;
+                Ok(Reply::Update(name.clone(), out))
             }
             Command::Stats { name } => self.stats(name),
             Command::List => Ok(Reply::List(self.catalog.names())),
             Command::Drop { name } => {
                 self.catalog.drop_dataset(name)?;
                 Ok(Reply::Dropped(name.clone()))
+            }
+            Command::Compact { name } => {
+                let ds = self.catalog.get(name)?;
+                let epoch = ds.compact()?;
+                Ok(Reply::Compacted {
+                    name: name.clone(),
+                    epoch,
+                })
             }
             Command::Ping => Ok(Reply::Pong),
         }

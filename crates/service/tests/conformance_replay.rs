@@ -188,3 +188,50 @@ fn replayed_stream_from_karate_with_deletes_only_start() {
     check_mode(&g0, &ops, Mode::Lazy { k: 8 }, 5, "karate-lazy");
     check_mode(&g0, &ops, Mode::Delta { k: 8 }, 5, "karate-delta");
 }
+
+/// Durability variant: the same replayed stream, but the dataset is
+/// **dropped and recovered from disk between every batch** — each epoch's
+/// answers must survive a restart bit-for-bit under the comparator, in
+/// every maintainer mode (the manifest round-trips the mode).
+#[test]
+fn replayed_stream_survives_a_restart_at_every_epoch() {
+    use egobtw_service::catalog::Dataset;
+    use egobtw_service::wal::{FsyncPolicy, PersistConfig};
+
+    let g0 = egobtw_gen::gnp(16, 0.2, 11);
+    let ops = stream(&g0, 24, 0xB007);
+    let batch = 3;
+    for (mode, tag) in [
+        (Mode::Local { publish_k: 6 }, "local"),
+        (Mode::Lazy { k: 8 }, "lazy"),
+        (Mode::Delta { k: 8 }, "delta"),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("egobtw-confreplay-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = PersistConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+            compact_every: 4, // restarts interleave with compactions
+        };
+        let mut ds = Dataset::create_persistent("replay", g0.clone(), mode, &cfg).unwrap();
+        for (i, chunk) in ops.chunks(batch).enumerate() {
+            let epoch = i as u64 + 1;
+            assert_eq!(ds.apply_updates(chunk).unwrap().epoch, epoch);
+            drop(ds); // restart boundary
+            let (recovered, report) = Dataset::recover("replay", &cfg)
+                .unwrap_or_else(|e| panic!("{tag} epoch {epoch}: {e}"));
+            assert_eq!(report.epoch, epoch, "{tag}: lost an epoch across restart");
+            let prefix = (i + 1) * batch;
+            let truth = reference_truth(&replay_graph(&g0, &ops[..prefix]).to_csr());
+            for k in [1usize, 5, 9] {
+                check_topk(&truth, &recovered.exact_topk_uncached(k), k, REL_TOL)
+                    .unwrap_or_else(|e| panic!("{tag} epoch {epoch} k={k}: {e}"));
+            }
+            ds = recovered;
+        }
+        drop(ds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,129 @@
+//! DROP-vs-UPDATE race: dropping a dataset while writers are hammering it
+//! must quiesce cleanly — in-flight batches either complete before the
+//! retire or are refused, never applied to a half-deleted dataset; the
+//! persistence directory is gone afterwards; and the name is immediately
+//! reusable.
+
+use egobtw_dynamic::EdgeOp;
+use egobtw_graph::CsrGraph;
+use egobtw_service::catalog::Mode;
+use egobtw_service::wal::{FsyncPolicy, PersistConfig};
+use egobtw_service::{parse_command, CatalogConfig, Service};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "egobtw-droprace-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::create_dir_all(&path).unwrap();
+    path
+}
+
+/// An update outcome during the race is acceptable iff it is a success or
+/// one of the refusals the retire path hands out.
+fn acceptable(err: &str) -> bool {
+    err.contains("retired") || err.contains("no dataset") || err.contains("writer pool")
+}
+
+#[test]
+fn drop_during_update_storm_quiesces_and_deletes() {
+    let dir = temp_dir("storm");
+    let service = Arc::new(Service::with_config(CatalogConfig {
+        shards: 4,
+        writers_per_shard: 2,
+        persist: Some(PersistConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+            compact_every: 4, // keep compactions in the race too
+        }),
+    }));
+    let g0 = egobtw_gen::gnp(24, 0.15, 21);
+    let n = g0.n() as u32;
+
+    for round in 0..6u64 {
+        let name = format!("race-{round}");
+        service
+            .load_graph(&name, g0.clone(), Mode::default())
+            .unwrap();
+        let ds_dir = dir.join(&name);
+        assert!(ds_dir.exists(), "round {round}: no persistence dir");
+
+        std::thread::scope(|scope| {
+            for t in 0..3u32 {
+                let (service, name) = (service.clone(), name.clone());
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        // Writer threads cycle disjoint edges so batches
+                        // stay state-changing regardless of interleaving.
+                        let u = (t * 67 + i) % n;
+                        let v = (u + 1 + i % (n - 1)) % n;
+                        if u == v {
+                            continue;
+                        }
+                        let op = if i % 2 == 0 {
+                            EdgeOp::Insert(u, v)
+                        } else {
+                            EdgeOp::Delete(u, v)
+                        };
+                        match service.catalog().apply_updates(&name, vec![op]) {
+                            Ok(_) => {}
+                            Err(e) if acceptable(&e) => break,
+                            Err(e) => panic!("round {round} writer {t}: {e}"),
+                        }
+                    }
+                });
+            }
+            // Let the storm build, then pull the rug.
+            std::thread::sleep(std::time::Duration::from_millis(2 + round));
+            match service.execute(&parse_command(&format!("DROP {name}")).unwrap()) {
+                Ok(_) => {}
+                Err(e) => assert!(acceptable(&e), "round {round}: DROP: {e}"),
+            }
+        });
+
+        // After every writer has returned: directory gone, writes refused,
+        // name free.
+        assert!(
+            !ds_dir.exists(),
+            "round {round}: retire left the persistence dir behind"
+        );
+        let err = service
+            .catalog()
+            .apply_updates(&name, vec![EdgeOp::Insert(0, 1)])
+            .unwrap_err();
+        assert!(acceptable(&err), "round {round}: {err}");
+        service
+            .load_graph(&name, g0.clone(), Mode::default())
+            .unwrap();
+        assert!(ds_dir.exists(), "round {round}: re-load must re-create");
+        service
+            .execute(&parse_command(&format!("DROP {name}")).unwrap())
+            .unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retired_handle_refuses_even_when_held_across_the_drop() {
+    // A reader that grabbed the Arc<Dataset> before the DROP keeps its
+    // snapshot (epoch reads stay safe) but can never write through it.
+    let service = Service::new();
+    let g0: CsrGraph = egobtw_gen::classic::karate_club();
+    service.load_graph("held", g0, Mode::default()).unwrap();
+    let held = service.catalog().get("held").unwrap();
+    let snap_before = held.snapshot();
+    service
+        .execute(&parse_command("DROP held").unwrap())
+        .unwrap();
+    assert!(held.retired());
+    let err = held.apply_updates(&[EdgeOp::Insert(0, 5)]).unwrap_err();
+    assert!(err.contains("retired"), "{err}");
+    // The old snapshot is still a coherent graph at its epoch.
+    assert_eq!(snap_before.epoch, 0);
+    assert_eq!(snap_before.graph.m(), 78);
+}

@@ -335,3 +335,100 @@ fn handle_payload_batches_and_isolates_errors() {
     assert_eq!(lines[3], "OK list datasets=k");
     assert_eq!(service.handle_payload("   \n"), "ERR empty request");
 }
+
+#[test]
+fn concurrent_identical_cold_topks_coalesce_to_one_computation() {
+    // N threads ask the same (engine, k) on a cold epoch at once: exactly
+    // one computes, the rest join its flight — cache_misses stays 1.
+    let service = std::sync::Arc::new(Service::new());
+    let g = egobtw_gen::gnp(120, 0.08, 17);
+    service
+        .load_graph("co", g, Mode::Local { publish_k: 4 })
+        .unwrap();
+    let barrier = std::sync::Barrier::new(8);
+    let answers: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (service, barrier) = (service.clone(), &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.handle_line("TOPK co 9 core::compute_all")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for a in &answers {
+        assert!(a.starts_with("OK top"), "{a}");
+        assert_eq!(
+            a.split("entries=").nth(1),
+            answers[0].split("entries=").nth(1),
+            "coalesced answers must be identical"
+        );
+    }
+    let ds = service.catalog().get("co").unwrap();
+    use std::sync::atomic::Ordering;
+    assert_eq!(
+        ds.cache_misses.load(Ordering::Relaxed),
+        1,
+        "single-flight: one computation for 8 identical requests"
+    );
+    assert_eq!(
+        ds.coalesced.load(Ordering::Relaxed) + ds.cache_hits.load(Ordering::Relaxed),
+        7,
+        "every other request joined the flight or hit its published result"
+    );
+}
+
+#[test]
+fn stats_line_reports_shard_persistence_and_coalescing_fields() {
+    let service = Service::new();
+    service
+        .load_graph("s", classic::karate_club(), Mode::default())
+        .unwrap();
+    let line = service.handle_line("STATS s");
+    // New fields ride at the end of the line so older scripts that match
+    // on the prefix keep working.
+    assert!(
+        line.starts_with("OK stats name=s epoch=0 n=34 m=78"),
+        "{line}"
+    );
+    for needle in [
+        " coalesced=0",
+        " shard=",
+        " persisted=false",
+        " wal_records=0",
+    ] {
+        assert!(line.contains(needle), "{line} missing {needle}");
+    }
+}
+
+#[test]
+fn compact_requires_a_persistent_dataset() {
+    let service = Service::new();
+    service
+        .load_graph("mem", classic::star(5), Mode::default())
+        .unwrap();
+    let err = exec_err(&service, "COMPACT mem");
+    assert!(err.contains("not persistent"), "{err}");
+    assert!(exec_err(&service, "COMPACT ghost").contains("no dataset"));
+}
+
+#[test]
+fn path_shaped_dataset_names_are_rejected_at_the_api_edge() {
+    let service = Service::new();
+    for bad in ["../up", "a/b", "a\\b", ".", "..", "a b", "caf\u{e9}"] {
+        let err = service
+            .load_graph(bad, classic::star(4), Mode::default())
+            .unwrap_err();
+        assert!(err.contains("bad dataset name"), "{bad:?}: {err}");
+    }
+    // The loadgen's scenario-mangled names must stay legal.
+    service
+        .load_graph(
+            "karate--update-heavy.v1_x",
+            classic::star(4),
+            Mode::default(),
+        )
+        .unwrap();
+}
