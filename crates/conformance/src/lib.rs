@@ -36,8 +36,8 @@ pub mod scenario;
 pub mod shrink;
 
 pub use case::Case;
-pub use compare::{approx_eq, check_topk, REL_TOL};
+pub use compare::{approx_eq, check_topk, check_topk_statistical, REL_TOL};
 pub use harness::{assert_case, check_case, check_case_with, Mismatch};
-pub use oracle::{all_oracles, FaultyOracle, Mutation, Oracle};
+pub use oracle::{all_oracles, approx_check, ApproxOracle, FaultyOracle, Mutation, Oracle};
 pub use scenario::{scenario, FAMILIES};
 pub use shrink::shrink;

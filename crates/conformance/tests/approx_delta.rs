@@ -1,0 +1,85 @@
+//! Repeated-trials δ-check, in-tree edition.
+//!
+//! The sampler's contract is probabilistic: each run may violate the
+//! (ε, δ) guarantee with probability at most δ. A single green run
+//! proves nothing about δ, so this test re-runs the honest sampler many
+//! times with fresh seeds and asserts the *empirical* failure count is
+//! statistically consistent with the promised rate — the same one-sided
+//! binomial test (α = 10⁻³) the `stress --approx-trials` CI gate uses,
+//! plus an exact Clopper–Pearson sanity bound on the observed rate.
+
+use conformance::{approx_check, scenario, ApproxOracle};
+use egobtw_core::naive::ego_betweenness_reference;
+use egobtw_core::{binomial_tail_ge, clopper_pearson_upper, ApproxFault, SamplingStrategy};
+use egobtw_graph::VertexId;
+
+/// SplitMix64 finalizer — decorrelates per-trial sampler seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[test]
+fn empirical_failure_rate_is_consistent_with_delta() {
+    const TRIALS: usize = 160;
+    const POOL: usize = 40;
+    const ALPHA: f64 = 1e-3;
+
+    // Each scenario is built and solved once; trials cycle over the pool
+    // with a fresh sampler seed every time.
+    let prepared: Vec<_> = (0..POOL)
+        .map(|idx| {
+            let case = scenario(42, idx);
+            let g = case.final_dyn().to_csr();
+            let truth: Vec<f64> = (0..g.n() as VertexId)
+                .map(|v| ego_betweenness_reference(&g, v))
+                .collect();
+            (g, case.k, truth)
+        })
+        .collect();
+
+    let mut failures = 0u64;
+    let mut delta = 0.0f64;
+    let mut first_failure = None;
+    for trial in 0..TRIALS {
+        let (g, k, truth) = &prepared[trial % POOL];
+        let strategy = if trial % 2 == 0 {
+            SamplingStrategy::Uniform
+        } else {
+            SamplingStrategy::HubStratified
+        };
+        let mut params = ApproxOracle {
+            strategy,
+            deep: true,
+        }
+        .forced_params();
+        params.seed = mix64(0xA99_0DE1 + trial as u64);
+        delta = params.delta;
+        if let Err(why) = approx_check(g, *k, &params, ApproxFault::None, truth) {
+            failures += 1;
+            first_failure.get_or_insert(format!("trial {trial}: {why}"));
+        }
+    }
+
+    // P[X ≥ failures] under Binomial(TRIALS, δ): reject only if seeing
+    // this many violations from an honest δ-sampler is a < α event.
+    let p_tail = binomial_tail_ge(TRIALS as u64, failures, delta);
+    assert!(
+        p_tail >= ALPHA,
+        "{failures}/{TRIALS} contract violations is incompatible with δ={delta} \
+         (P[X≥{failures}]={p_tail:.3e}; first: {})",
+        first_failure.as_deref().unwrap_or("-")
+    );
+
+    // The Clopper–Pearson upper bound must also cohere: whenever the
+    // binomial gate accepts, the exact 1−α upper confidence bound on the
+    // true rate sits above the promised δ is *not* required — but the
+    // bound must always contain the observed rate itself.
+    let cp = clopper_pearson_upper(failures, TRIALS as u64, ALPHA);
+    assert!(
+        cp >= failures as f64 / TRIALS as f64,
+        "CP upper bound {cp} fell below the observed rate"
+    );
+}

@@ -1,0 +1,79 @@
+//! The statistical tier must catch — and shrink — every planted approx
+//! mutant, while passing the honest sampler under identical parameters.
+//!
+//! This is the in-repo mirror of the CI `approx-*` planted-bug checks:
+//! for each of the three sampler faults, sweep the same seeded scenario
+//! space the stress binary uses (seed 42) until the mutant violates the
+//! statistical contract, then run the greedy shrinker on the failing
+//! case and assert the minimal case still fails. The honest-params test
+//! pins down attribution: the exact configuration the faulty oracles run
+//! under is one an honest sampler sweeps cleanly, so a mutant catch is
+//! the fault's doing, not a δ-event of the configuration.
+
+use conformance::{
+    check_case_with, scenario, shrink, ApproxOracle, FaultyOracle, Mutation, Oracle,
+};
+use egobtw_core::SamplingStrategy;
+
+/// Sweeps seeded scenarios until the mutant is caught, then shrinks.
+fn catch_and_shrink(mutation: Mutation) {
+    let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(FaultyOracle(mutation))];
+    let caught = (0..200).map(|idx| scenario(42, idx)).find_map(|case| {
+        check_case_with(&case, &oracles)
+            .err()
+            .map(|mismatch| (case, mismatch))
+    });
+    let Some((case, mismatch)) = caught else {
+        panic!("{mutation:?} survived 200 scenarios — the statistical net has a hole");
+    };
+    assert!(
+        mismatch.oracle.contains("mutant"),
+        "{mutation:?}: unexpected oracle {}",
+        mismatch.oracle
+    );
+
+    let fails = |c: &conformance::Case| check_case_with(c, &oracles).is_err();
+    let minimal = shrink(&case, &fails, 8);
+    assert!(fails(&minimal), "{mutation:?}: shrunk case no longer fails");
+    assert!(
+        minimal.weight() <= case.weight(),
+        "{mutation:?}: shrinking grew the case"
+    );
+}
+
+#[test]
+fn skip_high_degree_sampler_is_caught_and_shrunk() {
+    catch_and_shrink(Mutation::ApproxSkipHub);
+}
+
+#[test]
+fn missing_variance_term_is_caught_and_shrunk() {
+    catch_and_shrink(Mutation::ApproxNoVariance);
+}
+
+#[test]
+fn confidence_boundary_off_by_one_is_caught_and_shrunk() {
+    catch_and_shrink(Mutation::ApproxBoundaryOff);
+}
+
+/// The honest sampler, run under the *same* deep forced-sampling
+/// parameters the faulty oracles use, passes the full 200-scenario sweep
+/// for both strategies — so the three catches above are attributable.
+#[test]
+fn honest_sampler_passes_under_mutant_parameters() {
+    for strategy in [SamplingStrategy::Uniform, SamplingStrategy::HubStratified] {
+        let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(ApproxOracle {
+            strategy,
+            deep: true,
+        })];
+        for idx in 0..200 {
+            let case = scenario(42, idx);
+            if let Err(m) = check_case_with(&case, &oracles) {
+                panic!(
+                    "honest deep {strategy:?} sampler flagged on {}: {m}",
+                    case.label
+                );
+            }
+        }
+    }
+}

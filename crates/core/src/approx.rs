@@ -1,0 +1,787 @@
+//! Approximate top-k with (ε, δ) rank guarantees via adaptive pair sampling.
+//!
+//! Exact engines evaluate every non-adjacent neighbor pair of every ego —
+//! cubic-ish in hub neighborhoods. This module instead *samples* pairs per
+//! ego: each sampled pair contributes `X ∈ [0, 1]` (`0` if adjacent, else
+//! `1/(1+c)` with `c` common connectors), so `CB(p) = P_p · E[X]` where
+//! `P_p = C(d(p), 2)` is the ego's pair count. An empirical-Bernstein
+//! confidence interval (Audibert–Munos–Szepesvári; see also Mnih et al.'s
+//! EBStop) around the sample mean then drives three adaptive decisions per
+//! round:
+//!
+//! * **reject** egos whose upper bound falls below `λ`, the k-th largest
+//!   lower bound seen so far (hubs' a-priori cap `CB ≤ P_p` rejects most
+//!   small egos before a single sample is drawn);
+//! * **settle** egos whose lower bound clears the (k+1)-th largest upper
+//!   bound — provable top-k members that stop at *relative* precision
+//!   (`width ≤ ε·max(1, lo)`) instead of grinding toward the absolute
+//!   boundary tolerance; this is what makes well-separated hubs cheap
+//!   (a few thousand samples against millions of pairs);
+//! * **resolve** the rest once their CI width shrinks below
+//!   `(ε/2)·max(1, λ)`, which bounds the rank displacement of the final
+//!   selection by `ε·max(1, c*_k)` (sum of two half-criteria widths).
+//!
+//! Returned entries whose lower bound additionally clears every
+//! non-returned upper bound are flagged **certified** — provably true
+//! top-k members conditional on all CIs holding.
+//!
+//! The failure budget `δ` is union-bounded over vertices and geometric
+//! sampling rounds (`δ' = δ / (n · r · (r+1))`, `Σ_r 1/(r(r+1)) = 1`), and
+//! per-vertex CIs are *intersected* across rounds so bounds tighten
+//! monotonically and a rejection can never need to be revisited. Egos with
+//! `P_p ≤ exact_pair_cutoff` are evaluated exactly (zero-width CI) — on
+//! small graphs the sampler degrades gracefully into the exact algorithm.
+//!
+//! Determinism: every ego owns an RNG seeded from `seed ^ mix(vertex)`, and
+//! rounds are barrier-synchronized, so output is bit-identical across
+//! thread counts and process runs for a fixed seed.
+//!
+//! [`ApproxFault`] plants the conformance suite's mutants *inside* this
+//! engine (mirroring the delta-maintainer fault pattern), so the
+//! statistical tier can prove it would catch a real implementation bug.
+
+use crate::naive::ego_betweenness_of;
+use egobtw_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the per-round sampling budget is spread across still-active egos.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Every active ego draws the same batch each round.
+    Uniform,
+    /// Batches proportional to each ego's pair count `P_p` (hubs dominate
+    /// both cost and rank, so they get the samples), with a floor so small
+    /// active egos still make progress.
+    HubStratified,
+}
+
+/// Planted faults for the conformance mutation gate. `None` is the honest
+/// engine; the others are the three bugs the statistical tier must catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ApproxFault {
+    /// Honest operation.
+    #[default]
+    None,
+    /// Biased sampler: silently drops the highest-degree egos from
+    /// candidacy, as if the stratifier's top bucket were skipped.
+    SkipHighDegree,
+    /// Stopping rule ignores the empirical-variance term of the
+    /// Bernstein bound — CIs are too narrow, so rejection and
+    /// certification fire on insufficient evidence.
+    NoVarianceTerm,
+    /// Off-by-one in the confidence boundary: the rejection threshold λ
+    /// reads the (k−1)-th largest lower bound instead of the k-th (a
+    /// 0-vs-1-indexed rank slip), so egos are discarded against a
+    /// boundary one rank too high and true top-k members get rejected.
+    BoundaryOffByOne,
+}
+
+/// Tuning knobs for [`approx_topk`].
+#[derive(Clone, Copy, Debug)]
+pub struct ApproxParams {
+    /// Rank-displacement tolerance: returned scores are ≥
+    /// `c*_k − ε·max(1, c*_k)` with probability ≥ 1 − δ.
+    pub eps: f64,
+    /// Total failure probability budget across all CIs ever formed.
+    pub delta: f64,
+    /// RNG seed; fixes the entire output bit-for-bit.
+    pub seed: u64,
+    /// Budget-allocation strategy across egos.
+    pub strategy: SamplingStrategy,
+    /// Worker threads for the per-round sampling sweep (rounds are
+    /// barrier-synchronized, so this never changes the output).
+    pub threads: usize,
+    /// Egos with at most this many pairs are computed exactly instead of
+    /// sampled. `0` forces sampling everywhere (used by the conformance
+    /// tier so small scenario graphs still exercise the estimator).
+    pub exact_pair_cutoff: u64,
+    /// First-round batch size per active ego (doubles each round).
+    pub initial_batch: u64,
+    /// Hard cap on sampling rounds; hitting it sets
+    /// [`ApproxTopk::budget_exhausted`] instead of looping forever.
+    pub max_rounds: u32,
+    /// Once an ego has drawn `factor · P_p` samples it is finished
+    /// exactly instead (sampling past that costs more than enumerating).
+    /// The default `2.0` caps total work at a small constant multiple of
+    /// the exact algorithm; the conformance tier raises it to keep egos
+    /// in the sampling regime longer.
+    pub exact_fallback_factor: f64,
+}
+
+impl ApproxParams {
+    /// Parameters for a target `(ε, δ)` with default machinery knobs.
+    pub fn new(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps={eps} must be positive");
+        assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta={delta}");
+        ApproxParams {
+            eps,
+            delta,
+            seed: 0xE60B_7A17,
+            strategy: SamplingStrategy::Uniform,
+            threads: 1,
+            exact_pair_cutoff: 256,
+            initial_batch: 64,
+            max_rounds: 48,
+            exact_fallback_factor: 2.0,
+        }
+    }
+}
+
+impl Default for ApproxParams {
+    fn default() -> Self {
+        ApproxParams::new(0.05, 0.01)
+    }
+}
+
+/// One returned vertex with its confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxEntry {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Point estimate of `CB` (exact value for cutoff egos).
+    pub estimate: f64,
+    /// Lower confidence bound on the true `CB`.
+    pub lo: f64,
+    /// Upper confidence bound on the true `CB`.
+    pub hi: f64,
+    /// `true` when `lo` clears every non-returned vertex's upper bound —
+    /// a provable top-k member conditional on all CIs holding.
+    pub certified: bool,
+    /// `true` when the value was computed exactly (zero-width CI).
+    pub exact: bool,
+}
+
+/// Result of [`approx_topk`]: ranked entries plus the evidence needed by
+/// the statistical conformance comparator.
+#[derive(Clone, Debug)]
+pub struct ApproxTopk {
+    /// Top-k entries, descending by estimate (ascending vertex on ties).
+    pub entries: Vec<ApproxEntry>,
+    /// Largest upper confidence bound among *non-returned* vertices —
+    /// the certification boundary the comparator re-checks.
+    pub uncovered_hi: f64,
+    /// Worst-case rank displacement of any returned entry, conditional on
+    /// every CI holding: max returned *unsettled* CI width + max
+    /// non-returned unrejected CI width. Settled entries are provable
+    /// members and cannot be displaced, so their (relative-precision)
+    /// widths do not contribute.
+    pub rank_slack: f64,
+    /// Total pair samples drawn across all egos and rounds.
+    pub samples_drawn: u64,
+    /// Sampling rounds executed before stopping (the "stopping epoch").
+    pub rounds: u32,
+    /// Set when `max_rounds` fired before every ego resolved; the CIs are
+    /// still valid but `rank_slack` may exceed `ε·max(1, λ)`.
+    pub budget_exhausted: bool,
+}
+
+impl ApproxTopk {
+    /// The plain `(vertex, estimate)` view used by the engine registry.
+    pub fn topk_entries(&self) -> Vec<(VertexId, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.vertex, e.estimate))
+            .collect()
+    }
+}
+
+/// Empirical-Bernstein half-width for a mean of `t` i.i.d. samples in
+/// `[0, 1]` with empirical variance `variance`, at confidence `1 − δ'`:
+///
+/// ```text
+/// h = sqrt(2·V·ln(3/δ') / t) + 3·ln(3/δ') / t
+/// ```
+pub fn eb_half_width(variance: f64, t: u64, delta_prime: f64) -> f64 {
+    assert!(t > 0, "half-width needs at least one sample");
+    let ln_term = (3.0 / delta_prime).ln();
+    let tf = t as f64;
+    (2.0 * variance.max(0.0) * ln_term / tf).sqrt() + 3.0 * ln_term / tf
+}
+
+/// Per-round confidence budget: `δ / (n · r · (r+1))` for round `r ≥ 1`,
+/// so the union over all vertices and all rounds telescopes to `δ`.
+pub fn round_delta(delta: f64, n: usize, round: u32) -> f64 {
+    let r = f64::from(round.max(1));
+    delta / (n.max(1) as f64 * r * (r + 1.0))
+}
+
+/// `ln C(n, x)` via cumulative log-factorials (stable std has no
+/// `ln_gamma`; exact enough for the tail sums used here).
+fn ln_choose(n: u64, x: u64) -> f64 {
+    debug_assert!(x <= n);
+    let ln_fact = |m: u64| -> f64 { (2..=m).map(|i| (i as f64).ln()).sum() };
+    ln_fact(n) - ln_fact(x) - ln_fact(n - x)
+}
+
+/// One-sided binomial tail `P[X ≥ x]` for `X ~ Bin(n, p)`. Used by the
+/// repeated-trials driver: observing `x` failures in `n` trials is
+/// consistent with a true failure rate ≤ `p` at level `α` iff this tail
+/// probability is ≥ `α`.
+pub fn binomial_tail_ge(n: u64, x: u64, p: f64) -> f64 {
+    if x == 0 {
+        return 1.0;
+    }
+    if x > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut tail = 0.0;
+    for i in x..=n {
+        tail += (ln_choose(n, i) + i as f64 * lp + (n - i) as f64 * lq).exp();
+    }
+    tail.min(1.0)
+}
+
+/// Clopper–Pearson upper confidence limit on a binomial proportion at
+/// confidence `1 − α`: the rate `U` solving `P[X ≤ x | U] = α`, i.e.
+/// `P[X ≥ x+1 | U] = 1 − α`. Bisection on the exact tail; for `x = 0`
+/// this reproduces the `1 − α^(1/n)` "rule of three" limit.
+pub fn clopper_pearson_upper(x: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0 && x <= n);
+    if x >= n {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (x as f64 / n as f64, 1.0);
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        // The tail P[X ≥ x+1 | p] increases with p.
+        if binomial_tail_ge(n, x + 1, mid) < 1.0 - alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// SplitMix64 finalizer — decorrelates per-ego RNG streams from the
+/// sequential seeds `seed ^ v`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-ego sampling state. `lo`/`hi` are intersected across rounds so the
+/// interval only ever tightens (and remains a valid CI under the round
+/// union bound).
+struct EgoState {
+    vertex: VertexId,
+    pairs: f64,
+    /// Running sample count, sum, and sum of squares of `X`.
+    t: u64,
+    sum: f64,
+    sum_sq: f64,
+    lo: f64,
+    hi: f64,
+    rng: StdRng,
+    active: bool,
+    rejected: bool,
+    /// Stopped via the membership certificate (`lo` cleared the (k+1)-th
+    /// largest upper bound): a provable top-k member whose CI is only
+    /// relative-precision wide, so it is excluded from `rank_slack`.
+    settled: bool,
+    exact: bool,
+}
+
+impl EgoState {
+    fn mean(&self) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.sum / self.t as f64
+        }
+    }
+
+    /// Point estimate of CB, clamped into the intersected CI (the running
+    /// mean can drift outside an interval locked in by an earlier round).
+    fn estimate(&self) -> f64 {
+        (self.pairs * self.mean()).clamp(self.lo, self.hi)
+    }
+
+    fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Evaluates one sampled pair of `p`'s (sorted) neighbor list: `0` for an
+/// adjacent pair, else `1/(1+c)` with `c` the common connectors inside the
+/// ego (common neighbors of the pair that are also neighbors of `p`).
+fn pair_contribution(
+    g: &CsrGraph,
+    p: VertexId,
+    nbrs: &[VertexId],
+    i: usize,
+    j: usize,
+    scratch: &mut Vec<VertexId>,
+) -> f64 {
+    let (u, v) = (nbrs[i], nbrs[j]);
+    if g.has_edge(u, v) {
+        return 0.0;
+    }
+    scratch.clear();
+    g.common_neighbors_into(u, v, scratch);
+    // `p` itself is always a common neighbor of two of its neighbors but
+    // is not a connector; other common neighbors count only if in N(p).
+    let c = scratch
+        .iter()
+        .filter(|&&w| w != p && g.has_edge(w, p))
+        .count();
+    1.0 / (c as f64 + 1.0)
+}
+
+/// Draws `batch` pair samples for one ego and folds them into its state.
+/// Rejection-samples unordered index pairs, so every pair is uniform.
+fn sample_batch(g: &CsrGraph, st: &mut EgoState, nbrs: &[VertexId], batch: u64) -> u64 {
+    let d = nbrs.len();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    for _ in 0..batch {
+        let i = st.rng.random_range(0..d);
+        let mut j = st.rng.random_range(0..d);
+        while j == i {
+            j = st.rng.random_range(0..d);
+        }
+        let x = pair_contribution(g, st.vertex, nbrs, i.min(j), i.max(j), &mut scratch);
+        st.t += 1;
+        st.sum += x;
+        st.sum_sq += x * x;
+    }
+    batch
+}
+
+/// Approximate top-k ego-betweenness with an (ε, δ) rank guarantee.
+///
+/// With probability ≥ `1 − δ` (over the sampler's own randomness — the
+/// graph is arbitrary): every true CB lies inside its reported `[lo, hi]`,
+/// every `certified` entry is a member of a true top-k set (tie-aware),
+/// every returned entry's true CB is at least
+/// `c*_k − rank_slack ≥ c*_k − ε·max(1, c*_k)` (the latter whenever
+/// `budget_exhausted` is false), and every returned estimate is within
+/// `ε·max(1, c*_k, true CB)` of its vertex's true CB (settled members
+/// stop at relative precision; everything else at the absolute boundary
+/// tolerance), where `c*_k` is the true k-th score.
+pub fn approx_topk(g: &CsrGraph, k: usize, params: &ApproxParams) -> ApproxTopk {
+    approx_topk_with_fault(g, k, params, ApproxFault::None)
+}
+
+/// [`approx_topk`] with a planted fault — the conformance mutation gate's
+/// entry point. `ApproxFault::None` is byte-for-byte the honest engine.
+pub fn approx_topk_with_fault(
+    g: &CsrGraph,
+    k: usize,
+    params: &ApproxParams,
+    fault: ApproxFault,
+) -> ApproxTopk {
+    let n = g.n();
+    let k = k.min(n);
+    let max_degree = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
+
+    // Candidate states: exact below the pair cutoff, sampled above.
+    let mut samples_drawn = 0u64;
+    let mut states: Vec<EgoState> = Vec::with_capacity(n);
+    for v in 0..n as VertexId {
+        let d = g.degree(v) as u64;
+        let pairs = d * d.saturating_sub(1) / 2;
+        if fault == ApproxFault::SkipHighDegree && max_degree >= 2 && g.degree(v) == max_degree {
+            // Planted bug: the "top stratum" never enters candidacy.
+            continue;
+        }
+        if pairs <= params.exact_pair_cutoff {
+            let cb = ego_betweenness_of(g, v);
+            states.push(EgoState {
+                vertex: v,
+                pairs: pairs as f64,
+                t: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                lo: cb,
+                hi: cb,
+                rng: StdRng::seed_from_u64(0),
+                active: false,
+                rejected: false,
+                settled: false,
+                exact: true,
+            });
+        } else {
+            states.push(EgoState {
+                vertex: v,
+                pairs: pairs as f64,
+                t: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                lo: 0.0,
+                hi: pairs as f64, // a-priori cap: CB(p) ≤ P_p
+                rng: StdRng::seed_from_u64(params.seed ^ mix64(u64::from(v))),
+                active: true,
+                rejected: false,
+                settled: false,
+                exact: false,
+            });
+        }
+    }
+
+    // The rank the rejection boundary reads. The planted off-by-one fault
+    // models a 0-vs-1-indexed slip: λ comes from the (k−1)-th largest
+    // lower bound, one rank too aggressive.
+    let boundary_rank = if fault == ApproxFault::BoundaryOffByOne {
+        k.saturating_sub(1)
+    } else {
+        k
+    };
+    let kth_largest_lo = |states: &[EgoState]| -> f64 {
+        if boundary_rank == 0 {
+            return f64::INFINITY; // nothing to return: everything rejects
+        }
+        let mut lows: Vec<f64> = states
+            .iter()
+            .filter(|s| !s.rejected)
+            .map(|s| s.lo)
+            .collect();
+        if lows.len() < boundary_rank {
+            return 0.0;
+        }
+        lows.sort_by(|a, b| b.total_cmp(a));
+        lows[boundary_rank - 1]
+    };
+
+    // (k+1)-th largest upper bound over every candidate: an ego whose
+    // lower bound clears it has at most k−1 others that could possibly
+    // outscore it — a provable top-k member under the CIs.
+    let settle_boundary = |states: &[EgoState]| -> f64 {
+        if states.len() <= k {
+            return f64::NEG_INFINITY;
+        }
+        let nth = states.len() - (k + 1); // ascending position of the (k+1)-th largest
+        let mut his: Vec<f64> = states.iter().map(|s| s.hi).collect();
+        *his.select_nth_unstable_by(nth, |a, b| a.total_cmp(b)).1
+    };
+
+    let mut rounds = 0u32;
+    let mut budget_exhausted = false;
+    let threads = params.threads.max(1);
+
+    loop {
+        // Reject / settle / resolve against the current confidence
+        // boundaries λ and H_{k+1}.
+        let lambda = kth_largest_lo(&states);
+        let resolve_width = 0.5 * params.eps * lambda.max(1.0);
+        let settle_hi = settle_boundary(&states);
+        for st in states.iter_mut().filter(|s| s.active) {
+            if st.hi < lambda {
+                st.active = false;
+                st.rejected = true;
+            } else if st.t > 0 && st.width() <= resolve_width {
+                st.active = false;
+            } else if st.t > 0 && st.lo >= settle_hi && st.width() <= params.eps * st.lo.max(1.0) {
+                // Provable member at relative precision: stop sampling
+                // long before the absolute boundary tolerance is reached.
+                st.active = false;
+                st.settled = true;
+            }
+        }
+        if !states.iter().any(|s| s.active) {
+            break;
+        }
+        if rounds >= params.max_rounds {
+            budget_exhausted = true;
+            break;
+        }
+        rounds += 1;
+
+        // Once an ego has drawn `factor · P_p` samples, estimating has
+        // cost more than enumerating: finish it exactly. This caps total
+        // work at a small constant multiple of the exact algorithm in the
+        // worst case, with the CI collapsing to the true value.
+        let fallback = params.exact_fallback_factor.max(0.0);
+        for st in states.iter_mut().filter(|s| s.active) {
+            if st.t as f64 >= fallback * st.pairs {
+                let cb = ego_betweenness_of(g, st.vertex);
+                st.lo = cb;
+                st.hi = cb;
+                st.exact = true;
+                st.active = false;
+            }
+        }
+
+        // Allocate this round's batches across active egos, clamped so no
+        // ego overshoots the exact-fallback threshold by more than 2×.
+        let base_batch = params.initial_batch.max(1) << (rounds - 1).min(20);
+        let active_ids: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active)
+            .map(|(i, _)| i)
+            .collect();
+        if active_ids.is_empty() {
+            continue; // every straggler just got exactified
+        }
+        let batches: Vec<u64> = match params.strategy {
+            SamplingStrategy::Uniform => vec![base_batch; active_ids.len()],
+            SamplingStrategy::HubStratified => {
+                let total_pairs: f64 = active_ids.iter().map(|&i| states[i].pairs).sum();
+                let budget = base_batch.saturating_mul(active_ids.len() as u64);
+                active_ids
+                    .iter()
+                    .map(|&i| {
+                        let share = (budget as f64 * states[i].pairs / total_pairs) as u64;
+                        share.max(16)
+                    })
+                    .collect()
+            }
+        };
+        let batches: Vec<u64> = active_ids
+            .iter()
+            .zip(&batches)
+            .map(|(&i, &b)| {
+                // Saturate before the integer cast: a huge (or infinite,
+                // i.e. "never exactify") factor must mean "no clamp",
+                // not a wrapped-to-zero batch.
+                let cap = fallback * states[i].pairs;
+                if cap.is_finite() && cap < u64::MAX as f64 {
+                    b.min((cap as u64).saturating_add(1))
+                } else {
+                    b
+                }
+            })
+            .collect();
+
+        // Barrier-parallel sampling sweep: each ego owns its RNG, so work
+        // partitioning never changes the streams — only who advances them.
+        let mut work: Vec<(&mut EgoState, u64)> = Vec::with_capacity(active_ids.len());
+        {
+            let mut rest: &mut [EgoState] = &mut states;
+            let mut offset = 0usize;
+            for (&idx, &b) in active_ids.iter().zip(&batches) {
+                let (head, tail) = rest.split_at_mut(idx + 1 - offset);
+                work.push((&mut head[idx - offset], b));
+                rest = tail;
+                offset = idx + 1;
+            }
+        }
+        let drawn: u64 = if threads == 1 || work.len() == 1 {
+            work.iter_mut()
+                .map(|(st, b)| {
+                    let nbrs = g.neighbors(st.vertex);
+                    sample_batch(g, st, nbrs, *b)
+                })
+                .sum()
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<(&mut EgoState, u64)>>> = work
+                .into_iter()
+                .map(|w| std::sync::Mutex::new(Some(w)))
+                .collect();
+            let total = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let (st, b) = slots[i].lock().unwrap().take().expect("claimed once");
+                        let nbrs = g.neighbors(st.vertex);
+                        let got = sample_batch(g, st, nbrs, b);
+                        total.fetch_add(got, Ordering::Relaxed);
+                    });
+                }
+            });
+            total.load(Ordering::Relaxed)
+        };
+        samples_drawn += drawn;
+
+        // Refresh CIs at this round's confidence budget, intersecting with
+        // the intervals carried over from earlier rounds.
+        let delta_prime = round_delta(params.delta, n, rounds);
+        for st in states.iter_mut().filter(|s| s.active) {
+            let t = st.t;
+            let mean = st.mean();
+            let variance = (st.sum_sq / t as f64 - mean * mean).max(0.0);
+            let h = match fault {
+                ApproxFault::NoVarianceTerm => {
+                    // Planted bug: drop the sqrt(2·V·ln/t) term.
+                    3.0 * (3.0 / delta_prime).ln() / t as f64
+                }
+                _ => eb_half_width(variance, t, delta_prime),
+            };
+            st.lo = st.lo.max((st.pairs * (mean - h)).max(0.0));
+            st.hi = st.hi.min((st.pairs * (mean + h)).min(st.pairs));
+            if st.lo > st.hi {
+                // Intersection emptied (a CI was wrong, or float dust):
+                // collapse to the point estimate rather than invert.
+                let e = (st.pairs * mean).clamp(st.hi, st.lo);
+                st.lo = e;
+                st.hi = e;
+            }
+        }
+    }
+
+    // Final selection: top-k by (clamped) estimate, ties to small ids.
+    let mut order: Vec<usize> = (0..states.len()).filter(|&i| !states[i].rejected).collect();
+    order.sort_by(|&a, &b| {
+        states[b]
+            .estimate()
+            .total_cmp(&states[a].estimate())
+            .then(states[a].vertex.cmp(&states[b].vertex))
+    });
+    let returned = &order[..k.min(order.len())];
+    let returned_set: Vec<bool> = {
+        let mut m = vec![false; states.len()];
+        for &i in returned {
+            m[i] = true;
+        }
+        m
+    };
+
+    // Certification boundary: max upper bound over everything not
+    // returned (rejected vertices included — their bounds are still valid).
+    let uncovered_hi = states
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !returned_set[*i])
+        .map(|(_, s)| s.hi)
+        .fold(0.0f64, f64::max);
+
+    // Worst-case displacement: a returned entry can sit at most one CI
+    // width below an unreturned true member, which itself can sit at most
+    // its own width above its estimate. Settled entries are excluded —
+    // they are provable members (zero displacement) whose deliberately
+    // relative-precision CIs would otherwise dominate the slack.
+    let max_returned_width = returned
+        .iter()
+        .filter(|&&i| !states[i].settled)
+        .map(|&i| states[i].width())
+        .fold(0.0f64, f64::max);
+    let max_unreturned_width = states
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !returned_set[*i] && !s.rejected)
+        .map(|(_, s)| s.width())
+        .fold(0.0f64, f64::max);
+    let rank_slack = max_returned_width + max_unreturned_width;
+
+    let entries: Vec<ApproxEntry> = returned
+        .iter()
+        .map(|&i| {
+            let s = &states[i];
+            ApproxEntry {
+                vertex: s.vertex,
+                estimate: s.estimate(),
+                lo: s.lo,
+                hi: s.hi,
+                certified: s.lo >= uncovered_hi,
+                exact: s.exact,
+            }
+        })
+        .collect();
+
+    ApproxTopk {
+        entries,
+        uncovered_hi,
+        rank_slack,
+        samples_drawn,
+        rounds,
+        budget_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egobtw_gen::classic;
+
+    #[test]
+    fn exact_cutoff_path_matches_reference_on_karate() {
+        let g = classic::karate_club();
+        let params = ApproxParams::default(); // cutoff 256 covers every ego
+        let out = approx_topk(&g, 5, &params);
+        let truth = crate::registry::topk_from_scores(&crate::compute_all_naive(&g), 5);
+        assert_eq!(out.samples_drawn, 0, "all egos under the cutoff");
+        for (e, (tv, ts)) in out.entries.iter().zip(&truth) {
+            assert_eq!(e.vertex, *tv);
+            assert!((e.estimate - ts).abs() < 1e-9);
+            assert!(e.exact && e.certified);
+            assert_eq!(e.lo, e.hi);
+        }
+    }
+
+    #[test]
+    fn forced_sampling_contains_truth_on_star() {
+        // Star hub: every pair non-adjacent with zero connectors, so every
+        // sample is exactly 1.0 — variance 0, CI collapses fast.
+        let g = classic::star(40);
+        let mut params = ApproxParams::new(0.05, 0.01);
+        params.exact_pair_cutoff = 0;
+        let out = approx_topk(&g, 1, &params);
+        assert!(out.samples_drawn > 0);
+        let e = out.entries[0];
+        assert_eq!(e.vertex, 0);
+        let truth = 39.0 * 38.0 / 2.0;
+        assert!(e.lo - 1e-9 <= truth && truth <= e.hi + 1e-9, "{e:?}");
+        assert!(!out.budget_exhausted);
+    }
+
+    #[test]
+    fn k_zero_and_k_over_n() {
+        let g = classic::star(10);
+        let out = approx_topk(&g, 0, &ApproxParams::default());
+        assert!(out.entries.is_empty());
+        let out = approx_topk(&g, 99, &ApproxParams::default());
+        assert_eq!(out.entries.len(), 10);
+    }
+
+    #[test]
+    fn empty_and_single_vertex_graphs() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(approx_topk(&g, 3, &ApproxParams::default())
+            .entries
+            .is_empty());
+        let g1 = CsrGraph::from_edges(1, &[]);
+        let out = approx_topk(&g1, 1, &ApproxParams::default());
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.entries[0].estimate, 0.0);
+    }
+
+    #[test]
+    fn hub_stratified_agrees_with_truth_within_ci() {
+        let g = classic::karate_club();
+        let mut params = ApproxParams::new(0.1, 0.05);
+        params.strategy = SamplingStrategy::HubStratified;
+        params.exact_pair_cutoff = 0;
+        params.seed = 7;
+        let out = approx_topk(&g, 5, &params);
+        let truth = crate::compute_all_naive(&g);
+        for e in &out.entries {
+            let t = truth[e.vertex as usize];
+            assert!(e.lo - 1e-9 <= t && t <= e.hi + 1e-9, "{e:?} truth={t}");
+        }
+    }
+
+    #[test]
+    fn binomial_tail_sane() {
+        // P[X >= 0] is 1; P[X >= n+1] is 0; fair-coin symmetry.
+        assert_eq!(binomial_tail_ge(10, 0, 0.3), 1.0);
+        assert_eq!(binomial_tail_ge(10, 11, 0.3), 0.0);
+        let p = binomial_tail_ge(100, 50, 0.5);
+        assert!(p > 0.4 && p < 0.7, "{p}");
+    }
+
+    #[test]
+    fn clopper_pearson_brackets_observed_rate() {
+        let up = clopper_pearson_upper(2, 100, 0.05);
+        assert!(up > 0.02 && up < 0.12, "{up}");
+        assert_eq!(clopper_pearson_upper(5, 5, 0.05), 1.0);
+        // Zero failures still yields a positive upper limit (~3/n rule).
+        let z = clopper_pearson_upper(0, 100, 0.05);
+        assert!(z > 0.0 && z < 0.05, "{z}");
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`base_search`] — **BaseBSearch** (Algorithm 1);
 //! * [`opt_search`] — **OptBSearch** (Algorithm 2) with the gradient ratio
 //!   `θ` and EgoBWCal (Algorithm 3);
+//! * [`approx`] — adaptive pair-sampling engines with (ε, δ) rank
+//!   guarantees and per-vertex empirical-Bernstein confidence intervals,
+//!   for graphs the exact engines can't touch;
 //! * [`compute_all`] — exact `CB` for every vertex via a single
 //!   edge-centric pass (the `k = n` baseline, and the kernel that the
 //!   parallel crate distributes);
@@ -48,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod base_search;
 pub mod bounds;
 pub mod compute_all;
@@ -59,11 +63,15 @@ pub mod smap;
 pub mod stats;
 pub mod topk;
 
+pub use approx::{
+    approx_topk, approx_topk_with_fault, binomial_tail_ge, clopper_pearson_upper, eb_half_width,
+    round_delta, ApproxEntry, ApproxFault, ApproxParams, ApproxTopk, SamplingStrategy,
+};
 pub use base_search::base_bsearch;
 pub use compute_all::compute_all;
 pub use engine::Engine;
 pub use naive::{compute_all_naive, ego_betweenness_of, EgoView};
 pub use opt_search::{opt_bsearch, OptParams};
-pub use registry::{builtin_engines, topk_from_scores, RegisteredEngine};
+pub use registry::{builtin_engines, topk_from_scores, EngineKind, RegisteredEngine};
 pub use stats::SearchStats;
 pub use topk::{TopKSet, TopkResult};

@@ -14,6 +14,7 @@
 //! shape by constructing [`RegisteredEngine`] values of their own, which
 //! the conformance layer appends to this list.
 
+use crate::approx::{approx_topk, ApproxParams, SamplingStrategy};
 use crate::naive::compute_all_naive;
 use crate::opt_search::{opt_bsearch, OptParams};
 use crate::{base_bsearch, compute_all};
@@ -22,17 +23,44 @@ use egobtw_graph::{CsrGraph, HybridConfig, Relabeling, VertexId};
 /// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out.
 pub type EngineFn = Box<dyn Fn(&CsrGraph, usize) -> Vec<(VertexId, f64)> + Send + Sync>;
 
+/// What an engine promises about its output — the conformance layer picks
+/// its comparator from this tag.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineKind {
+    /// Bit-for-bit agreement with the reference is required.
+    Exact,
+    /// Randomized engine with an (ε, δ) rank guarantee: membership and
+    /// scores are checked with statistical tolerance, not equality.
+    Approx {
+        /// Rank-displacement tolerance ε.
+        eps: f64,
+        /// Failure probability budget δ.
+        delta: f64,
+    },
+}
+
 /// One named engine in the registry.
 pub struct RegisteredEngine {
     name: String,
+    kind: EngineKind,
     run: EngineFn,
 }
 
 impl RegisteredEngine {
-    /// Wraps a closure under a stable engine name.
+    /// Wraps a closure under a stable engine name (an exact engine).
     pub fn new(name: impl Into<String>, run: EngineFn) -> Self {
         RegisteredEngine {
             name: name.into(),
+            kind: EngineKind::Exact,
+            run,
+        }
+    }
+
+    /// Wraps a closure with an explicit output contract.
+    pub fn with_kind(name: impl Into<String>, kind: EngineKind, run: EngineFn) -> Self {
+        RegisteredEngine {
+            name: name.into(),
+            kind,
             run,
         }
     }
@@ -40,6 +68,11 @@ impl RegisteredEngine {
     /// The engine's stable name (used in reports and failure messages).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The engine's output contract.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
     }
 
     /// Runs the engine: top-`k` entries sorted by descending `CB`
@@ -85,7 +118,12 @@ pub fn topk_from_scores(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
 ///   slice×bitmap / bitmap×bitmap kernels (conformance coverage for the
 ///   bitmap paths, which real thresholds rarely reach on small graphs);
 /// * `core::opt_search(θ=1.05, degree-relabel)` — OptBSearch on the
-///   relabeled twin, since renaming must never change answers.
+///   relabeled twin, since renaming must never change answers;
+/// * `core::approx(uniform, ε=0.05, δ=0.01)` and
+///   `core::approx(hub-strat, ε=0.05, δ=0.01)` — the adaptive sampling
+///   engines ([`EngineKind::Approx`]): egos small enough to enumerate are
+///   exact, the rest carry empirical-Bernstein confidence intervals; the
+///   conformance layer checks them with statistical tolerance.
 pub fn builtin_engines() -> Vec<RegisteredEngine> {
     let mut engines = vec![
         RegisteredEngine::new(
@@ -131,6 +169,26 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
             relab.restore_topk(opt_bsearch(&rg, k, OptParams { theta: 1.05 }).entries)
         }) as EngineFn,
     ));
+    for (tag, strategy) in [
+        ("uniform", SamplingStrategy::Uniform),
+        ("hub-strat", SamplingStrategy::HubStratified),
+    ] {
+        let params = ApproxParams {
+            strategy,
+            ..ApproxParams::default()
+        };
+        engines.push(RegisteredEngine::with_kind(
+            format!(
+                "core::approx({tag}, ε={:.2}, δ={:.2})",
+                params.eps, params.delta
+            ),
+            EngineKind::Approx {
+                eps: params.eps,
+                delta: params.delta,
+            },
+            Box::new(move |g: &CsrGraph, k| approx_topk(g, k, &params).topk_entries()) as EngineFn,
+        ));
+    }
     engines
 }
 

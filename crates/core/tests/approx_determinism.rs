@@ -1,0 +1,92 @@
+//! The approx engines must be *bit*-deterministic: one seed, one answer,
+//! regardless of worker-thread count or process invocation. The engine
+//! earns this with per-ego RNG streams (seeded `seed ^ mix64(vertex)`)
+//! and barrier-synchronized rounds, so work-stealing order cannot leak
+//! into the arithmetic. These tests pin the property the service layer
+//! relies on for caching: replaying `TOPK … approx:…` yields the same
+//! bytes every time.
+
+use egobtw_core::{approx_topk, ApproxParams, ApproxTopk, SamplingStrategy};
+use egobtw_gen::synth_family;
+
+/// Full bit-level fingerprint of a result: every float as raw bits, plus
+/// the sampling-effort counters — if any of this differs, two runs
+/// diverged somewhere in the adaptive loop.
+fn fingerprint(r: &ApproxTopk) -> Vec<u64> {
+    let mut out = vec![
+        r.uncovered_hi.to_bits(),
+        r.rank_slack.to_bits(),
+        r.samples_drawn,
+        u64::from(r.rounds),
+        u64::from(r.budget_exhausted),
+    ];
+    for e in &r.entries {
+        out.push(u64::from(e.vertex));
+        out.push(e.estimate.to_bits());
+        out.push(e.lo.to_bits());
+        out.push(e.hi.to_bits());
+        out.push(u64::from(e.certified));
+        out.push(u64::from(e.exact));
+    }
+    out
+}
+
+fn params(strategy: SamplingStrategy, threads: usize) -> ApproxParams {
+    ApproxParams {
+        threads,
+        strategy,
+        // Forced sampling everywhere: the exact-cutoff path is trivially
+        // deterministic, the adaptive sampler is what needs pinning.
+        exact_pair_cutoff: 0,
+        ..ApproxParams::new(0.1, 0.01)
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_thread_counts() {
+    for family in ["ba", "er", "rmat", "community"] {
+        let g = synth_family(family, 1.0, 7).unwrap();
+        for strategy in [SamplingStrategy::Uniform, SamplingStrategy::HubStratified] {
+            let reference = fingerprint(&approx_topk(&g, 8, &params(strategy, 1)));
+            for threads in [2usize, 4, 8] {
+                let got = fingerprint(&approx_topk(&g, 8, &params(strategy, threads)));
+                assert_eq!(
+                    got, reference,
+                    "{family}/{strategy:?}: t={threads} diverged from t=1"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_repeated_runs() {
+    let g = synth_family("ba", 1.0, 11).unwrap();
+    let p = params(SamplingStrategy::Uniform, 4);
+    let a = fingerprint(&approx_topk(&g, 5, &p));
+    let b = fingerprint(&approx_topk(&g, 5, &p));
+    assert_eq!(a, b, "two in-process runs with one seed diverged");
+}
+
+#[test]
+fn different_seeds_actually_sample_differently() {
+    // Guard against a degenerate "determinism" where the RNG is unused.
+    // Small scenario-sized graphs exactify every ego (the fallback makes
+    // the final answer seed-independent by design), so pin the sampler
+    // in the sampling regime: no exact fallback, a tight ε that cannot
+    // resolve, and a short round budget — the run ends budget-exhausted
+    // with raw sample means, which two seeds must draw differently.
+    let g = synth_family("er", 1.0, 3).unwrap();
+    let mut p1 = params(SamplingStrategy::Uniform, 1);
+    p1.eps = 0.001;
+    p1.max_rounds = 6;
+    p1.exact_fallback_factor = f64::INFINITY;
+    let mut p2 = p1;
+    p1.seed = 1;
+    p2.seed = 2;
+    assert_ne!(
+        fingerprint(&approx_topk(&g, 8, &p1)),
+        fingerprint(&approx_topk(&g, 8, &p2)),
+        "seed is not reaching the sampler"
+    );
+}

@@ -1,0 +1,143 @@
+//! Property tests for the empirical-Bernstein machinery behind
+//! [`egobtw_core::approx`].
+//!
+//! The half-width `h(V, t, δ') = √(2·V·ln(3/δ')/t) + 3·ln(3/δ')/t` is the
+//! entire statistical backbone of the approx engines: rejection,
+//! resolution, and certification all reason through it. These tests pin
+//! its analytic shape (monotonicity, variance behaviour, centering) and
+//! then check the claim that actually matters — the intervals it yields
+//! *cover* the true mean at the promised rate — by seeded Monte-Carlo
+//! over bounded [0, 1] variables, judged with the same one-sided binomial
+//! slack the conformance δ-gate uses.
+
+use egobtw_core::{binomial_tail_ge, eb_half_width, round_delta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn half_width_is_monotone_nonincreasing_in_t() {
+    for &variance in &[0.0, 1e-6, 0.01, 0.25] {
+        for &delta in &[0.1, 0.01, 1e-4] {
+            let mut prev = f64::INFINITY;
+            for t in 1..=4096u64 {
+                let h = eb_half_width(variance, t, delta);
+                assert!(
+                    h <= prev + 1e-15,
+                    "h grew at t={t} (V={variance}, δ'={delta}): {prev} -> {h}"
+                );
+                assert!(h.is_finite() && h >= 0.0, "h={h} at t={t}");
+                prev = h;
+            }
+        }
+    }
+}
+
+#[test]
+fn half_width_shrinks_with_variance_down_to_the_range_term() {
+    for &t in &[4u64, 64, 1024] {
+        for &delta in &[0.05f64, 1e-3] {
+            let range_term = 3.0 * (3.0 / delta).ln() / t as f64;
+            let mut prev = f64::INFINITY;
+            for &variance in &[0.25, 0.1, 0.01, 1e-4, 0.0] {
+                let h = eb_half_width(variance, t, delta);
+                assert!(h <= prev, "h grew as variance fell (t={t})");
+                assert!(
+                    h >= range_term - 1e-15,
+                    "h={h} undercut the range term {range_term}"
+                );
+                prev = h;
+            }
+            // At zero empirical variance only the range term remains.
+            let h0 = eb_half_width(0.0, t, delta);
+            assert!((h0 - range_term).abs() <= 1e-12 * range_term.max(1.0));
+        }
+    }
+}
+
+#[test]
+fn interval_never_excludes_the_sample_mean() {
+    // The CI is centered on the sample mean, so exclusion is exactly a
+    // negative half-width; sweep a wide parameter grid to rule it out.
+    for &variance in &[0.0, 1e-9, 0.3, 0.25f64] {
+        for &t in &[1u64, 2, 7, 1000, 1 << 40] {
+            for &delta in &[0.5, 1e-2, 1e-9] {
+                let h = eb_half_width(variance, t, delta);
+                assert!(
+                    h >= 0.0 && h.is_finite(),
+                    "degenerate half-width {h} (V={variance}, t={t}, δ'={delta})"
+                );
+                let mean = 0.37;
+                assert!(mean - h <= mean && mean <= mean + h);
+            }
+        }
+    }
+}
+
+#[test]
+fn round_delta_budgets_telescope_within_delta() {
+    // Σ_r δ/(n·r·(r+1)) over all rounds telescopes to δ/n per ego, i.e.
+    // δ in total across n egos — the union bound the engine relies on.
+    let (delta, n) = (0.01, 37usize);
+    let spent: f64 = (1..=10_000u32).map(|r| round_delta(delta, n, r)).sum();
+    assert!(
+        spent * n as f64 <= delta + 1e-12,
+        "budget overspent: {spent}"
+    );
+    assert!(
+        spent * n as f64 >= delta * 0.99,
+        "budget far from telescoping: {spent}"
+    );
+}
+
+/// Monte-Carlo coverage: for bounded i.i.d. samples, the EB interval at
+/// confidence δ' must contain the true mean in at least a 1−δ' fraction
+/// of trials (up to binomial noise, judged at α = 10⁻³ like the δ-gate).
+#[test]
+fn monte_carlo_coverage_meets_one_minus_delta() {
+    const TRIALS: u64 = 600;
+    const T: u64 = 400;
+    const DELTA: f64 = 0.05;
+    const ALPHA: f64 = 1e-3;
+
+    // Mixed-shape bounded variables with known means: Bernoulli(0.3),
+    // Uniform[0,1], and a spiky 0.05/0.95 two-pointer.
+    let cases: &[(&str, f64)] = &[("bernoulli", 0.3), ("uniform", 0.5), ("spiky", 0.14)];
+    for &(shape, true_mean) in cases {
+        let mut misses = 0u64;
+        for trial in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(0xBE27_5E1D ^ (trial * 2 + 1));
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for _ in 0..T {
+                let x: f64 = match shape {
+                    "bernoulli" => f64::from(u8::from(rng.random_bool(0.3))),
+                    "uniform" => rng.random(),
+                    // 0.95 w.p. 0.1, else 0.05: mean 0.14, high kurtosis.
+                    _ => {
+                        if rng.random_bool(0.1) {
+                            0.95
+                        } else {
+                            0.05
+                        }
+                    }
+                };
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / T as f64;
+            let variance = (sum_sq / T as f64 - mean * mean).max(0.0);
+            let h = eb_half_width(variance, T, DELTA);
+            if true_mean < mean - h || true_mean > mean + h {
+                misses += 1;
+            }
+        }
+        // Reject only if this many misses would be a < α event for an
+        // honest 1−δ' interval — the same test the stress gate applies.
+        let p_tail = binomial_tail_ge(TRIALS, misses, DELTA);
+        assert!(
+            p_tail >= ALPHA,
+            "{shape}: {misses}/{TRIALS} misses incompatible with δ'={DELTA} \
+             (P[X≥{misses}]={p_tail:.3e})"
+        );
+    }
+}

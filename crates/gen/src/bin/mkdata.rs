@@ -13,6 +13,8 @@
 //!   --seed N      generator seed (default 42; karate/toy are deterministic)
 //!   --out PATH    output file (required)
 //!   --format X    edges | snapshot (default: snapshot iff PATH ends .snap)
+//!   --print-rss   also print `peak-rss-kb=N` (VmHWM) after writing, so
+//!                 smoke tests can assert generation stays RSS-bounded
 //! ```
 //!
 //! The same `(family, scale, seed)` always produces the same file.
@@ -26,6 +28,15 @@ struct Args {
     seed: u64,
     out: String,
     snapshot: bool,
+    print_rss: bool,
+}
+
+/// Peak resident set size (VmHWM) of this process in KiB, if the
+/// platform exposes it (`/proc/self/status` — Linux only).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = None;
     let mut format: Option<String> = None;
+    let mut print_rss = false;
     let mut i = 0;
     while i < argv.len() {
         let value = |i: usize| -> Result<&String, String> {
@@ -47,6 +59,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => out = Some(value(i)?.clone()),
             "--format" => format = Some(value(i)?.clone()),
+            "--print-rss" => {
+                print_rss = true;
+                i += 1;
+                continue;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -65,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         snapshot,
+        print_rss,
     })
 }
 
@@ -74,7 +92,8 @@ fn main() {
         Err(e) => {
             eprintln!("mkdata: {e}");
             eprintln!(
-                "usage: mkdata --family F --out PATH [--scale S] [--seed N] [--format edges|snapshot]"
+                "usage: mkdata --family F --out PATH [--scale S] [--seed N] \
+                 [--format edges|snapshot] [--print-rss]"
             );
             std::process::exit(2);
         }
@@ -113,4 +132,10 @@ fn main() {
         g.m(),
         if args.snapshot { "snapshot" } else { "edges" }
     );
+    if args.print_rss {
+        match peak_rss_kb() {
+            Some(kb) => println!("peak-rss-kb={kb}"),
+            None => println!("peak-rss-kb=unavailable"),
+        }
+    }
 }

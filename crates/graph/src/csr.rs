@@ -278,6 +278,85 @@ impl CsrGraph {
         g
     }
 
+    /// Builds a graph from a *replayable* stream of edges without ever
+    /// materializing an edge list: pass one counts degrees, pass two
+    /// scatters endpoints straight into the CSR adjacency array. Peak
+    /// transient memory is the CSR itself plus a per-vertex cursor — no
+    /// `Vec<(u, v)>`, no packed-key sort buffer (`from_edges` allocates
+    /// both). This is what lets large generator runs stream.
+    ///
+    /// `make_stream` is called twice and must yield the *same* sequence
+    /// both times (seeded generators replay their RNG). Each undirected
+    /// edge must appear exactly once, with no self-loops; violations
+    /// panic — callers own dedup, which they typically already do.
+    pub fn from_edge_stream<I, F>(n: usize, make_stream: F) -> Self
+    where
+        I: Iterator<Item = (VertexId, VertexId)>,
+        F: Fn() -> I,
+    {
+        Self::from_edge_stream_with(n, make_stream, &HybridConfig::new())
+    }
+
+    /// [`CsrGraph::from_edge_stream`] with an explicit hub-bitmap policy.
+    pub fn from_edge_stream_with<I, F>(n: usize, make_stream: F, cfg: &HybridConfig) -> Self
+    where
+        I: Iterator<Item = (VertexId, VertexId)>,
+        F: Fn() -> I,
+    {
+        let mut degrees = vec![0usize; n];
+        let mut first_pass_edges = 0usize;
+        for (u, v) in make_stream() {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for n={n}"
+            );
+            assert!(u != v, "self-loop ({u},{u}) in edge stream");
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+            first_pass_edges += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        drop(degrees);
+
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut adj = vec![0 as VertexId; acc];
+        let mut second_pass_edges = 0usize;
+        for (u, v) in make_stream() {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+            second_pass_edges += 1;
+        }
+        assert_eq!(
+            first_pass_edges, second_pass_edges,
+            "edge stream did not replay identically"
+        );
+        drop(cursor);
+        for u in 0..n {
+            let list = &mut adj[offsets[u]..offsets[u + 1]];
+            list.sort_unstable();
+            assert!(
+                list.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge incident to vertex {u} in edge stream"
+            );
+        }
+        let hubs = HubBitmaps::build(&offsets, &adj, cfg);
+        let g = CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            adj: adj.into_boxed_slice(),
+            hubs,
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
     /// Rebuilds only the hub-bitmap layer under a different policy; the
     /// CSR arrays are shared-cloned, so this skips the edge re-sort.
     pub fn with_hybrid_config(&self, cfg: &HybridConfig) -> Self {
@@ -617,6 +696,42 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[(2, 1), (3, 0), (1, 0)]);
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn edge_stream_matches_from_edges() {
+        let edges = [(2, 1), (3, 0), (1, 0), (0, 2)];
+        let streamed = CsrGraph::from_edge_stream(4, || edges.iter().copied());
+        let built = CsrGraph::from_edges(4, &edges);
+        assert_eq!(
+            streamed.edges().collect::<Vec<_>>(),
+            built.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(streamed.validate(), Ok(()));
+        for u in 0..4 {
+            assert_eq!(streamed.neighbors(u), built.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn edge_stream_empty_and_isolated() {
+        let g = CsrGraph::from_edge_stream(3, std::iter::empty);
+        assert_eq!((g.n(), g.m()), (3, 0));
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn edge_stream_rejects_duplicates() {
+        let edges = [(0, 1), (1, 0)];
+        let _ = CsrGraph::from_edge_stream(2, || edges.iter().copied());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_stream_rejects_self_loops() {
+        let edges = [(1, 1)];
+        let _ = CsrGraph::from_edge_stream(2, || edges.iter().copied());
     }
 
     #[test]

@@ -456,6 +456,12 @@ pub struct Dataset {
     /// Queries answered by joining another requester's in-flight
     /// computation of the same key at the same epoch.
     pub coalesced: AtomicU64,
+    /// Cumulative pair samples drawn by `approx:` engine runs on this
+    /// dataset (0 until the first approx query).
+    pub approx_samples: AtomicU64,
+    /// Cumulative adaptive rounds run before the approx stopping rule
+    /// fired, across all `approx:` engine runs on this dataset.
+    pub approx_rounds: AtomicU64,
 }
 
 impl Dataset {
@@ -478,6 +484,8 @@ impl Dataset {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            approx_samples: AtomicU64::new(0),
+            approx_rounds: AtomicU64::new(0),
         }
     }
 
@@ -568,6 +576,8 @@ impl Dataset {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            approx_samples: AtomicU64::new(0),
+            approx_rounds: AtomicU64::new(0),
         };
         Ok((
             ds,

@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! LOAD   <name> <path> [local[:K] | lazy:<k> | delta:<k>]   load a dataset file
-//! TOPK   <name> <k> [engine]                    top-k (engine: auto | registry name)
+//! TOPK   <name> <k> [engine]                    top-k (engine: auto | registry name |
+//!                                               approx:EPS,DELTA — seeded (ε, δ) sampler)
 //! SCORE  <name> <v>...                          exact CB of named vertices
 //! COMMON <name> <u> <v>                         common neighbors
 //! UPDATE <name> (+u,v | -u,v)...                apply an edge-op batch

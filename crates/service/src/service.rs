@@ -27,6 +27,7 @@ use crate::proto::{format_entries, parse_command, Command};
 use egobtw_core::naive::ego_betweenness_of;
 use egobtw_core::opt_search::{opt_bsearch, OptParams};
 use egobtw_core::registry::{builtin_engines, RegisteredEngine};
+use egobtw_core::{approx_topk, ApproxParams};
 use egobtw_graph::io::{read_edge_list_file, read_snapshot_file, IoError, SNAPSHOT_MAGIC};
 use egobtw_graph::{CsrGraph, VertexId};
 use std::io::Read;
@@ -149,6 +150,11 @@ pub enum Reply {
         persisted: bool,
         /// Records currently in the WAL (0 when not persisted).
         wal_records: u64,
+        /// Cumulative pair samples drawn by `approx:` engine runs.
+        approx_samples: u64,
+        /// Cumulative adaptive rounds before the approx stopping rule
+        /// fired, across `approx:` engine runs.
+        approx_rounds: u64,
     },
     /// LIST answer.
     List(
@@ -237,11 +243,14 @@ impl Reply {
                 shard,
                 persisted,
                 wal_records,
+                approx_samples,
+                approx_rounds,
             } => format!(
                 "OK stats name={name} epoch={epoch} n={n} m={m} mode={} maintained={} \
                  stale_members={stale_members} ops_applied={ops_applied} \
                  cache_hits={cache_hits} cache_misses={cache_misses} coalesced={coalesced} \
-                 shard={shard} persisted={persisted} wal_records={wal_records}",
+                 shard={shard} persisted={persisted} wal_records={wal_records} \
+                 approx_samples={approx_samples} approx_rounds={approx_rounds}",
                 mode.render(),
                 maintained.map_or_else(|| "none".into(), |l| l.to_string()),
             ),
@@ -251,6 +260,26 @@ impl Reply {
             Reply::Pong => "OK pong".into(),
         }
     }
+}
+
+/// Parses the `approx:EPS,DELTA` engine token into validated sampler
+/// parameters. The seed is fixed: one epoch, one token, one answer — the
+/// per-epoch cache can serve repeats byte-identically, and replays are
+/// reproducible (the sampler itself is bit-deterministic by seed).
+fn parse_approx_engine(spec: &str) -> Result<ApproxParams, String> {
+    let bad = || {
+        format!(
+            "bad approx engine {spec:?}: expected approx:EPS,DELTA \
+             with 0 < EPS ≤ 1 and 0 < DELTA < 1"
+        )
+    };
+    let (eps_s, delta_s) = spec.split_once(',').ok_or_else(bad)?;
+    let eps: f64 = eps_s.trim().parse().map_err(|_| bad())?;
+    let delta: f64 = delta_s.trim().parse().map_err(|_| bad())?;
+    if !(eps > 0.0 && eps <= 1.0 && delta > 0.0 && delta < 1.0) {
+        return Err(bad());
+    }
+    Ok(ApproxParams::new(eps, delta))
 }
 
 /// Reads a graph file, sniffing binary snapshot vs text edge list from
@@ -355,8 +384,13 @@ impl Service {
         k: usize,
     ) -> Result<(crate::catalog::SharedEntries, TopkSource), String> {
         // Resolve the engine before claiming a cache slot, so an unknown
-        // name can never leave a pending slot behind.
+        // name (or a malformed approx spec) can never leave a pending
+        // slot behind.
+        let mut approx: Option<ApproxParams> = None;
         let engine = if engine_name == "auto" {
+            None
+        } else if let Some(spec) = engine_name.strip_prefix("approx:") {
+            approx = Some(parse_approx_engine(spec)?);
             None
         } else {
             Some(
@@ -383,9 +417,17 @@ impl Service {
             }
             Claim::Compute(ticket) => {
                 ds.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let entries: Vec<(VertexId, f64)> = match engine {
-                    None => opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries,
-                    Some(engine) => engine.topk(&snap.graph, k),
+                let entries: Vec<(VertexId, f64)> = match (engine, &approx) {
+                    (None, Some(params)) => {
+                        let result = approx_topk(&snap.graph, k, params);
+                        ds.approx_samples
+                            .fetch_add(result.samples_drawn, Ordering::Relaxed);
+                        ds.approx_rounds
+                            .fetch_add(u64::from(result.rounds), Ordering::Relaxed);
+                        result.topk_entries()
+                    }
+                    (None, None) => opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries,
+                    (Some(engine), _) => engine.topk(&snap.graph, k),
                 };
                 let entries = Arc::new(entries);
                 ticket.fulfill(entries.clone());
@@ -503,6 +545,8 @@ impl Service {
             shard: self.catalog.shard_of(name),
             persisted: ds.persisted(),
             wal_records: ds.wal_records(),
+            approx_samples: ds.approx_samples.load(Ordering::Relaxed),
+            approx_rounds: ds.approx_rounds.load(Ordering::Relaxed),
         })
     }
 

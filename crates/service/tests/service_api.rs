@@ -404,6 +404,102 @@ fn stats_line_reports_shard_persistence_and_coalescing_fields() {
 }
 
 #[test]
+fn approx_engine_token_serves_cached_deterministic_topk() {
+    let service = Service::new();
+    let g = classic::karate_club();
+    service.load_graph("a", g.clone(), Mode::default()).unwrap();
+    let truth = topk_from_scores(&egobtw_core::compute_all(&g).0, 5);
+
+    // Karate sits under the approx engine's exact-pair cutoff, so the
+    // sampler answers exactly — the wire-level contract here is about
+    // routing, caching, and counters, not statistics.
+    let first = match exec(&service, "TOPK a 5 approx:0.05,0.01") {
+        egobtw_service::Reply::Topk {
+            source, entries, ..
+        } => {
+            assert_eq!(source, TopkSource::Engine("approx:0.05,0.01".into()));
+            for ((_, a), (_, b)) in entries.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-9);
+            }
+            entries
+        }
+        other => panic!("unexpected reply {other:?}"),
+    };
+
+    // Same epoch + same token ⇒ served from the per-epoch cache,
+    // byte-identical (the sampler seed is fixed per token).
+    match exec(&service, "TOPK a 5 approx:0.05,0.01") {
+        egobtw_service::Reply::Topk {
+            source, entries, ..
+        } => {
+            assert_eq!(source, TopkSource::Cache);
+            assert_eq!(entries, first);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // A different (ε, δ) is a different cache key, hence a fresh run.
+    match exec(&service, "TOPK a 5 approx:0.10,0.05") {
+        egobtw_service::Reply::Topk { source, .. } => {
+            assert_eq!(source, TopkSource::Engine("approx:0.10,0.05".into()));
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn approx_engine_rejects_malformed_specs() {
+    let service = Service::new();
+    service
+        .load_graph("a", classic::karate_club(), Mode::default())
+        .unwrap();
+    for bad in [
+        "TOPK a 5 approx:",
+        "TOPK a 5 approx:0.05",
+        "TOPK a 5 approx:0.05;0.01",
+        "TOPK a 5 approx:0,0.01",
+        "TOPK a 5 approx:1.5,0.01",
+        "TOPK a 5 approx:0.05,1.0",
+        "TOPK a 5 approx:eps,delta",
+    ] {
+        let e = exec_err(&service, bad);
+        assert!(e.contains("approx"), "{bad:?}: {e}");
+    }
+}
+
+#[test]
+fn stats_reports_approx_sampling_counters() {
+    let service = Service::new();
+    // A graph big enough that the sampler actually samples (degrees push
+    // pair counts past the exact cutoff), so the counters move.
+    let g = egobtw_gen::synth_family("ba", 2.0, 9).unwrap();
+    service.load_graph("s", g, Mode::default()).unwrap();
+    let before = service.handle_line("STATS s");
+    assert!(
+        before.contains(" approx_samples=0") && before.contains(" approx_rounds=0"),
+        "{before}"
+    );
+    exec(&service, "TOPK s 8 approx:0.05,0.01");
+    let ds = service.catalog().get("s").unwrap();
+    let samples = ds.approx_samples.load(std::sync::atomic::Ordering::Relaxed);
+    let rounds = ds.approx_rounds.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(samples > 0, "sampler drew nothing on a 400-vertex graph");
+    assert!(rounds > 0);
+    let after = service.handle_line("STATS s");
+    assert!(
+        after.contains(&format!(" approx_samples={samples}"))
+            && after.contains(&format!(" approx_rounds={rounds}")),
+        "{after}"
+    );
+    // Cache hits don't re-run the sampler, so the counters hold still.
+    exec(&service, "TOPK s 8 approx:0.05,0.01");
+    assert_eq!(
+        ds.approx_samples.load(std::sync::atomic::Ordering::Relaxed),
+        samples
+    );
+}
+
+#[test]
 fn compact_requires_a_persistent_dataset() {
     let service = Service::new();
     service
