@@ -19,6 +19,12 @@
 //!                   scenarios cycled from --seed/--budget) and assert
 //!                   the empirical failure rate of the statistical
 //!                   contract is consistent with the promised δ
+//!   --chaos         serving-path chaos sweep: spawn a real daemon (path
+//!                   in $EGOBTW_SERVE_BIN), interpose the seeded fault
+//!                   proxy (delay | stall | cut | corrupt | reset), drive
+//!                   an oracle-checked workload, SIGKILL, restart, and
+//!                   assert zero violations and zero acked-write loss
+//!   --chaos-seeds N distinct chaos schedules to sweep (default 3)
 //!   --verbose       print every scenario label as it runs
 //! ```
 //!
@@ -43,6 +49,8 @@ struct Args {
     max_secs: Option<f64>,
     mutate: Option<Mutation>,
     approx_trials: Option<usize>,
+    chaos: bool,
+    chaos_seeds: usize,
     verbose: bool,
 }
 
@@ -54,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         max_secs: None,
         mutate: None,
         approx_trials: None,
+        chaos: false,
+        chaos_seeds: 3,
         verbose: false,
     };
     let mut i = 0;
@@ -89,6 +99,16 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--approx-trials: {e}"))?,
                 );
+                i += 2;
+            }
+            "--chaos" => {
+                args.chaos = true;
+                i += 1;
+            }
+            "--chaos-seeds" => {
+                args.chaos_seeds = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seeds: {e}"))?;
                 i += 2;
             }
             "--verbose" => {
@@ -127,6 +147,119 @@ fn report_failure(case: &Case, mismatch: &Mismatch, oracles: &[Box<dyn conforman
     );
     eprintln!("\npaste this into crates/conformance/tests/ as a regression test:\n");
     eprintln!("{}", minimal.to_test_code(&why));
+}
+
+/// Spawns the daemon named by `$EGOBTW_SERVE_BIN` on an OS-picked port
+/// and waits for its `listening on` line. `load` preloads a binary
+/// snapshot on first boot; later boots recover from the data dir.
+fn spawn_serve(
+    bin: &str,
+    data_dir: &std::path::Path,
+    load: Option<&std::path::Path>,
+) -> Result<(std::process::Child, String), String> {
+    use std::io::BufRead;
+    let mut cmd = std::process::Command::new(bin);
+    cmd.args(["--listen", "127.0.0.1:0", "--threads", "2", "--shards", "2"]);
+    cmd.args(["--data-dir", data_dir.to_str().unwrap()]);
+    if let Some(snap) = load {
+        cmd.args(["--load", &format!("chaos={}", snap.to_str().unwrap())]);
+    }
+    cmd.stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    let mut child = cmd.spawn().map_err(|e| format!("spawn {bin:?}: {e}"))?;
+    let stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    for line in stdout.lines() {
+        let line = line.map_err(|e| format!("daemon stdout: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            let addr = rest.split_whitespace().next().unwrap().to_string();
+            return Ok((child, addr));
+        }
+    }
+    let _ = child.kill();
+    Err("daemon exited before printing its address".into())
+}
+
+/// The `--chaos` sweep: for each seed, daemon + fault proxy + workload +
+/// SIGKILL + restart + recovery oracle. Any violation or acked-write
+/// loss fails the sweep (exit 1).
+fn run_chaos(args: &Args) -> i32 {
+    let Ok(bin) = std::env::var("EGOBTW_SERVE_BIN") else {
+        eprintln!(
+            "stress --chaos: set EGOBTW_SERVE_BIN to the egobtw-serve binary \
+             (e.g. target/release/egobtw-serve)"
+        );
+        return 2;
+    };
+    println!(
+        "serving-path chaos sweep: seeds {}..{} bin={bin}",
+        args.seed,
+        args.seed + args.chaos_seeds as u64
+    );
+    let mut failed = false;
+    for i in 0..args.chaos_seeds {
+        let seed = args.seed + i as u64;
+        let dir = std::env::temp_dir().join(format!("egobtw-chaos-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data_dir = dir.join("data");
+        if let Err(e) = std::fs::create_dir_all(&data_dir) {
+            eprintln!("seed {seed}: mkdir {dir:?}: {e}");
+            return 2;
+        }
+        let result = (|| -> Result<conformance::ChaosReport, String> {
+            let g0 = egobtw_gen::gnp(48, 0.12, seed);
+            let snap = dir.join("g0.snap");
+            egobtw_graph::io::write_snapshot_file(&g0, None, &snap)
+                .map_err(|e| format!("write snapshot: {e}"))?;
+            let (mut child, addr) = spawn_serve(&bin, &data_dir, Some(&snap))?;
+            let mut proxy =
+                conformance::ChaosProxy::spawn(&addr, seed).map_err(|e| format!("proxy: {e}"))?;
+            let report = conformance::run_chaos_workload(&proxy.addr(), "chaos", &g0, seed, 24, 3);
+            proxy.stop();
+            // Crash hard (SIGKILL — no drain, no fsync beyond what acks
+            // already guaranteed), then restart over the same data dir.
+            let _ = child.kill();
+            let _ = child.wait();
+            let report = report?;
+            let (mut child2, addr2) = spawn_serve(&bin, &data_dir, None)?;
+            let verdict = conformance::verify_recovered(&addr2, "chaos", &g0, &report);
+            let _ = child2.kill();
+            let _ = child2.wait();
+            verdict.map(|()| report)
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        match result {
+            Ok(report) if report.violations.is_empty() => {
+                println!(
+                    "  seed {seed}: PASS epochs={} reads_ok={} refused={} transport_errors={}",
+                    report.acked_epoch,
+                    report.reads_ok,
+                    report.reads_refused,
+                    report.transport_errors
+                );
+            }
+            Ok(report) => {
+                failed = true;
+                eprintln!("  seed {seed}: {} violation(s)", report.violations.len());
+                for v in &report.violations {
+                    eprintln!("    - {v}");
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("  seed {seed}: FAIL {e}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("FAIL: chaos sweep found serving-path violations");
+        1
+    } else {
+        println!(
+            "PASS: {} chaos schedule(s), zero violations, zero acked-write loss",
+            args.chaos_seeds
+        );
+        0
+    }
 }
 
 /// SplitMix64 finalizer — decorrelates per-trial sampler seeds.
@@ -236,12 +369,16 @@ fn main() {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: stress [--seed S] [--budget N] [--max-secs T] \
-                 [--mutate {}] [--approx-trials N] [--verbose]",
+                 [--mutate {}] [--approx-trials N] [--chaos] [--chaos-seeds N] [--verbose]",
                 Mutation::NAMES
             );
             std::process::exit(2);
         }
     };
+
+    if args.chaos {
+        std::process::exit(run_chaos(&args));
+    }
 
     if args.approx_trials.is_some() {
         std::process::exit(run_approx_trials(&args));

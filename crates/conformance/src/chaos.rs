@@ -1,0 +1,732 @@
+//! Deterministic fault-injection proxy and oracle-checked chaos workload.
+//!
+//! The serving path claims: every admitted request is answered or refused
+//! with an explicit `ERR`, acked writes survive any crash, and answers
+//! are exact for the epoch they name. This module attacks those claims
+//! with a **seeded, replayable** man-in-the-middle:
+//!
+//! * [`ChaosProxy`] — an in-process TCP proxy between a client and the
+//!   real daemon. Each accepted connection draws a fault from a schedule
+//!   derived *only* from `(seed, connection index)`: extra per-chunk
+//!   delay, a one-shot stall, a mid-frame cut, a single corrupted
+//!   response byte, or an abrupt reset-style close. Same seed ⇒ same
+//!   schedule, so a failing run is re-runnable bit-for-bit.
+//! * [`run_chaos_workload`] — a sequential driver speaking the daemon's
+//!   length-prefixed frame protocol through the proxy: seq-tokened
+//!   `UPDATE` batches retried until acked (exactly-once via the seq
+//!   token), interleaved with `TOPK` reads verified against a
+//!   from-scratch replay of every acked op through
+//!   [`ego_betweenness_reference`] — the same zero-tolerance oracle the
+//!   differential harness uses.
+//! * [`verify_recovered`] — post-crash check: after the caller SIGKILLs
+//!   and restarts the daemon, asserts the recovered epoch equals the
+//!   acked epoch (zero acked-write loss) and the recovered top-k matches
+//!   the replay truth.
+//!
+//! The corruption fault writes `0xFF`, a byte that can never appear in
+//! well-formed UTF-8. Real deployments delegate integrity to TCP/TLS;
+//! here the protocol's own UTF-8 validation is the detector, so a
+//! corrupted frame surfaces as a transport error (and a retry), never as
+//! a silently wrong answer. This module deliberately does **not** depend
+//! on the service crate — it re-implements the ~30-line frame codec so
+//! the conformance suite exercises the wire contract, not the
+//! implementation's own helpers.
+
+use crate::check_topk;
+use egobtw_core::naive::ego_betweenness_reference;
+use egobtw_dynamic::stream::{replay_graph, EdgeOp};
+use egobtw_graph::{CsrGraph, VertexId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// SplitMix64 finalizer — the only entropy source in this module.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Tiny deterministic generator (SplitMix64 stream) for workload choices.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(mix64(seed))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedule
+// ---------------------------------------------------------------------------
+
+/// One injectable network fault. Every kind is exercised by cycling the
+/// connection index; [`FaultKind::ALL`] is the committed schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Pass bytes through untouched (the control arm).
+    Clean,
+    /// Sleep a few milliseconds before forwarding each chunk.
+    Delay,
+    /// One long pause mid-stream after a byte threshold.
+    Stall,
+    /// Forward up to a byte threshold, then close both directions —
+    /// the peer sees EOF in the middle of a frame.
+    Cut,
+    /// Overwrite one server→client byte with `0xFF` (never valid UTF-8,
+    /// so the client's frame decoder is guaranteed to notice).
+    Corrupt,
+    /// Abrupt close with inbound data left unread — on Linux the kernel
+    /// answers the unread backlog with RST rather than FIN.
+    Rst,
+}
+
+impl FaultKind {
+    /// Every fault kind, in schedule order. Connections rotate through
+    /// this array (seed-phased), so six consecutive connections always
+    /// cover every kind.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Clean,
+        FaultKind::Delay,
+        FaultKind::Stall,
+        FaultKind::Cut,
+        FaultKind::Corrupt,
+        FaultKind::Rst,
+    ];
+}
+
+/// The fully materialized fault for one proxied connection.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Which fault this connection suffers.
+    pub kind: FaultKind,
+    /// Byte threshold (per direction) at which Stall/Cut/Corrupt/Rst
+    /// trigger. Small on purpose: responses start with a length line, so
+    /// a threshold of a few dozen bytes lands mid-frame.
+    pub at_byte: u64,
+    /// Sleep for Delay (per chunk) or Stall (once), in milliseconds.
+    pub millis: u64,
+    /// For [`FaultKind::Cut`]: sever on the client→server direction
+    /// (a request dies mid-frame) instead of server→client.
+    pub cut_request: bool,
+}
+
+impl FaultPlan {
+    /// Derives connection `conn`'s fault under `seed`. Pure function of
+    /// its arguments — the whole proxy schedule replays from the seed.
+    /// Kinds rotate round-robin (phase-shifted by the seed), so any six
+    /// consecutive connections are guaranteed to cover every kind —
+    /// thresholds and timings still vary per connection.
+    pub fn for_conn(seed: u64, conn: u64) -> FaultPlan {
+        let h = mix64(seed ^ conn.wrapping_mul(0x0EE1_0AD5));
+        let phase = mix64(seed) % FaultKind::ALL.len() as u64;
+        let kind = FaultKind::ALL[((conn + phase) % FaultKind::ALL.len() as u64) as usize];
+        FaultPlan {
+            kind,
+            at_byte: 1 + (mix64(h ^ 1) % 96),
+            millis: match kind {
+                FaultKind::Delay => 1 + mix64(h ^ 2) % 8,
+                FaultKind::Stall => 60 + mix64(h ^ 2) % 140,
+                _ => 0,
+            },
+            cut_request: mix64(h ^ 3) & 1 == 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The proxy
+// ---------------------------------------------------------------------------
+
+/// In-process TCP proxy that forwards every accepted connection to a
+/// fixed upstream address while replaying the seeded fault schedule.
+/// Dropping (or [`ChaosProxy::stop`]) closes the listener; per-connection
+/// pump threads die with their sockets.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream`.
+    pub fn spawn(upstream: &str, seed: u64) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let upstream = upstream.to_string();
+        let acceptor = thread::spawn(move || {
+            for (conn, client) in listener.incoming().enumerate() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = client else { break };
+                let plan = FaultPlan::for_conn(seed, conn as u64);
+                let upstream = upstream.clone();
+                // Detached: each handler dies when either socket does.
+                thread::spawn(move || {
+                    let Ok(server) = TcpStream::connect(&upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        return;
+                    };
+                    let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                        return;
+                    };
+                    // Corruption only ever hits responses: a corrupted
+                    // *request* the server rejects is the server's proto
+                    // test's job; here we attack the client's decoder.
+                    let (req_fault, resp_fault) = split_plan(&plan);
+                    let t = thread::spawn(move || pump(c2, server, req_fault));
+                    pump(s2, client, resp_fault);
+                    let _ = t.join();
+                });
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops accepting. Existing pump threads finish on their own when
+    /// their sockets close.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Splits one connection's plan into (request-direction,
+/// response-direction) pump faults.
+fn split_plan(plan: &FaultPlan) -> (FaultPlan, FaultPlan) {
+    let clean = FaultPlan {
+        kind: FaultKind::Clean,
+        ..*plan
+    };
+    match plan.kind {
+        // Cut may sever either direction; everything else targets
+        // responses (Corrupt by design, Delay/Stall/Rst by convention —
+        // the schedule stays deterministic either way).
+        FaultKind::Cut if plan.cut_request => (*plan, clean),
+        _ => (clean, *plan),
+    }
+}
+
+/// Forwards `src` → `dst` applying `fault`. On exit both sockets are
+/// fully shut down, which cascades the other direction's pump to exit.
+fn pump(mut src: TcpStream, mut dst: TcpStream, fault: FaultPlan) {
+    let mut buf = [0u8; 2048];
+    let mut total = 0u64;
+    let mut stalled = false;
+    let mut corrupted = false;
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        match fault.kind {
+            FaultKind::Clean => {}
+            FaultKind::Delay => thread::sleep(Duration::from_millis(fault.millis)),
+            FaultKind::Stall => {
+                if !stalled && total >= fault.at_byte {
+                    stalled = true;
+                    thread::sleep(Duration::from_millis(fault.millis));
+                }
+            }
+            FaultKind::Corrupt => {
+                if !corrupted && total + n as u64 > fault.at_byte {
+                    let off = fault.at_byte.saturating_sub(total) as usize;
+                    chunk[off.min(n - 1)] = 0xFF;
+                    corrupted = true;
+                }
+            }
+            FaultKind::Cut => {
+                if total + n as u64 >= fault.at_byte {
+                    let keep = (fault.at_byte - total) as usize;
+                    let _ = dst.write_all(&chunk[..keep.min(n)]);
+                    break;
+                }
+            }
+            FaultKind::Rst => {
+                if total + n as u64 >= fault.at_byte {
+                    // Leave this chunk unforwarded and close with inbound
+                    // data possibly pending — the RST approximation.
+                    let mut sink = [0u8; 512];
+                    let _ = src.read(&mut sink);
+                    break;
+                }
+            }
+        }
+        total += n as u64;
+        if dst.write_all(chunk).is_err() {
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal frame codec (mirrors docs/ARCHITECTURE.md, not the service crate)
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a frame this client will accept; matches the daemon's.
+const MAX_FRAME: usize = 16 << 20;
+
+fn send_frame(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut frame = line.len().to_string().into_bytes();
+    frame.push(b'\n');
+    frame.extend_from_slice(line.as_bytes());
+    stream.write_all(&frame)
+}
+
+fn bad_data(why: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+}
+
+fn recv_frame(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut len_line = Vec::with_capacity(16);
+    let mut byte = [0u8; 1];
+    loop {
+        stream.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            break;
+        }
+        if !byte[0].is_ascii_digit() || len_line.len() > 8 {
+            return Err(bad_data(format!("bad length prefix byte {:#04x}", byte[0])));
+        }
+        len_line.push(byte[0]);
+    }
+    let len: usize = String::from_utf8(len_line)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data("unparseable length prefix".into()))?;
+    if len > MAX_FRAME {
+        return Err(bad_data(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    String::from_utf8(payload).map_err(|_| bad_data("payload is not UTF-8".into()))
+}
+
+fn connect(addr: &str, budget: Duration) -> std::io::Result<TcpStream> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_read_timeout(Some(Duration::from_secs(5)))?;
+                s.set_write_timeout(Some(Duration::from_secs(5)))?;
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workload driver
+// ---------------------------------------------------------------------------
+
+/// What one chaos run observed and committed. Feed it to
+/// [`verify_recovered`] after crashing and restarting the daemon.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Epoch the daemon acked last — the zero-loss floor for recovery.
+    pub acked_epoch: u64,
+    /// Every acked op, in epoch order (`batch` ops per epoch).
+    pub ops: Vec<EdgeOp>,
+    /// Ops per UPDATE batch (uniform by construction).
+    pub batch: usize,
+    /// Reads answered OK and verified against the replay oracle.
+    pub reads_ok: u64,
+    /// Reads explicitly refused (`ERR busy` / `ERR draining` /
+    /// `ERR deadline`) — allowed, counted, never verified.
+    pub reads_refused: u64,
+    /// Transport-level failures the driver retried through (includes
+    /// corruption caught by the frame codec).
+    pub transport_errors: u64,
+    /// Oracle violations. Empty or the run failed.
+    pub violations: Vec<String>,
+}
+
+/// One daemon round-trip through a possibly hostile link: reconnects and
+/// retries on transport errors, returns the first *reply* (which may be
+/// an `ERR`). `Err` only after the attempt budget is exhausted.
+fn rpc(
+    conn: &mut Option<TcpStream>,
+    addr: &str,
+    payload: &str,
+    transport_errors: &mut u64,
+) -> Result<String, String> {
+    const ATTEMPTS: usize = 60;
+    for attempt in 0..ATTEMPTS {
+        if conn.is_none() {
+            match connect(addr, Duration::from_secs(5)) {
+                Ok(s) => *conn = Some(s),
+                Err(e) => {
+                    if attempt + 1 == ATTEMPTS {
+                        return Err(format!("connect {addr}: {e}"));
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("just connected");
+        match send_frame(stream, payload).and_then(|()| recv_frame(stream)) {
+            Ok(reply) => return Ok(reply),
+            Err(_) => {
+                // Cut, reset, stall-past-timeout, or corruption — drop
+                // the session and retry on a fresh connection (a fresh
+                // fault draw).
+                *transport_errors += 1;
+                *conn = None;
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    Err(format!("no reply to {payload:?} after {ATTEMPTS} attempts"))
+}
+
+/// Pulls `key=<u64>` out of a reply line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("{key}=");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(' ').unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses `entries=v:s,v:s,…` from a TOPK reply.
+fn parse_entries(line: &str) -> Result<Vec<(VertexId, f64)>, String> {
+    let raw = line
+        .split_once("entries=")
+        .ok_or_else(|| format!("no entries field in {line:?}"))?
+        .1
+        .trim();
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|pair| {
+            let (v, s) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad entry {pair:?}"))?;
+            Ok((
+                v.parse().map_err(|e| format!("bad vertex {v:?}: {e}"))?,
+                s.parse().map_err(|e| format!("bad score {s:?}: {e}"))?,
+            ))
+        })
+        .collect()
+}
+
+/// Renders one UPDATE batch with its idempotency token.
+fn update_payload(name: &str, seq: u64, ops: &[EdgeOp]) -> String {
+    let mut line = format!("UPDATE {name} seq={seq}");
+    for op in ops {
+        let (sign, (u, v)) = match op {
+            EdgeOp::Insert(u, v) => ('+', (u, v)),
+            EdgeOp::Delete(u, v) => ('-', (u, v)),
+        };
+        line.push_str(&format!(" {sign}{u},{v}"));
+    }
+    line
+}
+
+/// Drives `batches` seq-tokened UPDATE epochs (of `batch` ops each)
+/// against dataset `name` through `addr` — normally a [`ChaosProxy`] —
+/// interleaving oracle-checked TOPK reads. `g0` must be the graph the
+/// daemon loaded for `name`. Sequential by design: with one writer the
+/// daemon's epoch equals the acked epoch at every read, which makes the
+/// replay oracle exact rather than heuristic.
+///
+/// Returns `Err` only on driver-level failure (e.g. the daemon is
+/// unreachable); protocol violations land in
+/// [`ChaosReport::violations`] so the caller can report them all.
+pub fn run_chaos_workload(
+    addr: &str,
+    name: &str,
+    g0: &CsrGraph,
+    seed: u64,
+    batches: usize,
+    batch: usize,
+) -> Result<ChaosReport, String> {
+    let n = g0.n();
+    if n < 2 {
+        return Err("chaos workload needs a graph with ≥ 2 vertices".into());
+    }
+    let mut rng = Rng::new(seed ^ 0xC4A0_5EED);
+    let mut report = ChaosReport {
+        acked_epoch: 0,
+        ops: Vec::with_capacity(batches * batch),
+        batch,
+        reads_ok: 0,
+        reads_refused: 0,
+        transport_errors: 0,
+        violations: Vec::new(),
+    };
+    let mut conn: Option<TcpStream>;
+
+    for b in 0..batches {
+        // Fresh connection per epoch: the proxy draws one fault per
+        // accepted connection, so rotating guarantees every batch of six
+        // epochs meets every fault kind (retries add further draws).
+        conn = None;
+        // Generate the batch. Replay semantics are forgiving (duplicate
+        // insert / absent delete are no-ops), so unconditioned random
+        // ops are valid — truth is whatever the replay says.
+        let ops: Vec<EdgeOp> = (0..batch)
+            .map(|_| {
+                let u = (rng.next() % n as u64) as VertexId;
+                let mut v = (rng.next() % n as u64) as VertexId;
+                if u == v {
+                    v = (v + 1) % n as VertexId;
+                }
+                if rng.next() & 1 == 0 {
+                    EdgeOp::Insert(u, v)
+                } else {
+                    EdgeOp::Delete(u, v)
+                }
+            })
+            .collect();
+        let expected = report.acked_epoch;
+        let payload = update_payload(name, expected, &ops);
+
+        // Retry until acked. The seq token makes this exactly-once: a
+        // retry of an applied batch re-acks (same seq + fingerprint), and
+        // a lost-ack race surfaces as `stale seq` naming epoch+1.
+        let mut applied = false;
+        loop {
+            let reply = rpc(&mut conn, addr, &payload, &mut report.transport_errors)?;
+            if reply.starts_with("OK update") {
+                applied = true;
+                match field_u64(&reply, "epoch") {
+                    Some(e) if e == expected + 1 => {}
+                    other => report.violations.push(format!(
+                        "batch {b}: acked epoch {other:?}, expected {}",
+                        expected + 1
+                    )),
+                }
+                break;
+            }
+            if reply.starts_with("ERR busy")
+                || reply.starts_with("ERR draining")
+                || reply.contains("deadline")
+            {
+                // Refused before application — plain retry.
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            if reply.contains("stale seq=") {
+                // "ERR stale seq=E: dataset … is at epoch N" — the final
+                // token is the daemon's epoch.
+                let at: Option<u64> = reply.rsplit(' ').next().and_then(|t| t.parse().ok());
+                if at == Some(expected + 1) {
+                    applied = true; // our write landed; only the ack was lost
+                    break;
+                }
+                report.violations.push(format!(
+                    "batch {b}: stale at epoch {at:?}, expected {}",
+                    expected + 1
+                ));
+                break;
+            }
+            report.violations.push(format!("batch {b}: {reply}"));
+            break;
+        }
+        if !applied {
+            // A protocol violation was recorded; the daemon did not take
+            // the batch, so the mirror must not take it either.
+            continue;
+        }
+        report.acked_epoch = expected + 1;
+        report.ops.extend_from_slice(&ops);
+
+        // Interleave reads: every third epoch, one TOPK — sometimes with
+        // an aggressive DEADLINE that is *allowed* to expire but must
+        // then say so.
+        if b % 3 != 2 {
+            continue;
+        }
+        let k = 1 + (rng.next() % 12) as usize;
+        let query = if rng.next().is_multiple_of(4) {
+            format!("DEADLINE 2000 TOPK {name} {k} core::compute_all")
+        } else {
+            format!("TOPK {name} {k} core::compute_all")
+        };
+        let reply = rpc(&mut conn, addr, &query, &mut report.transport_errors)?;
+        if reply.starts_with("ERR") {
+            if reply.contains("busy") || reply.contains("draining") || reply.contains("deadline") {
+                report.reads_refused += 1;
+            } else {
+                report
+                    .violations
+                    .push(format!("read at epoch {}: {reply}", report.acked_epoch));
+            }
+            continue;
+        }
+        match check_read(&reply, g0, &report.ops, report.acked_epoch, batch, k) {
+            Ok(()) => report.reads_ok += 1,
+            Err(why) => report
+                .violations
+                .push(format!("read at epoch {}: {why}", report.acked_epoch)),
+        }
+    }
+    Ok(report)
+}
+
+/// Verifies one TOPK reply against the replay oracle.
+fn check_read(
+    reply: &str,
+    g0: &CsrGraph,
+    ops: &[EdgeOp],
+    acked_epoch: u64,
+    batch: usize,
+    k: usize,
+) -> Result<(), String> {
+    let epoch = field_u64(reply, "epoch").ok_or_else(|| format!("no epoch in {reply:?}"))?;
+    if epoch != acked_epoch {
+        return Err(format!(
+            "answer names epoch {epoch}, but the single writer is at {acked_epoch}"
+        ));
+    }
+    let got = parse_entries(reply)?;
+    let prefix = (epoch as usize) * batch;
+    let g = replay_graph(g0, &ops[..prefix.min(ops.len())]).to_csr();
+    let truth: Vec<f64> = (0..g.n() as VertexId)
+        .map(|v| ego_betweenness_reference(&g, v))
+        .collect();
+    check_topk(&truth, &got, k, crate::REL_TOL)
+}
+
+/// Post-recovery assertion: connect **directly** to the restarted daemon
+/// at `addr` and check (1) the recovered epoch equals the acked epoch —
+/// an acked write disappearing or a phantom epoch appearing both fail —
+/// and (2) a fresh exact top-k matches the replay of the acked ops.
+pub fn verify_recovered(
+    addr: &str,
+    name: &str,
+    g0: &CsrGraph,
+    report: &ChaosReport,
+) -> Result<(), String> {
+    let mut conn: Option<TcpStream> = None;
+    let mut scratch = 0u64;
+    let stats = rpc(&mut conn, addr, &format!("STATS {name}"), &mut scratch)?;
+    if !stats.starts_with("OK stats") {
+        return Err(format!("STATS after recovery: {stats}"));
+    }
+    let epoch = field_u64(&stats, "epoch").ok_or_else(|| format!("no epoch in {stats:?}"))?;
+    if epoch != report.acked_epoch {
+        return Err(format!(
+            "recovered epoch {epoch} ≠ acked epoch {} — {}",
+            report.acked_epoch,
+            if epoch < report.acked_epoch {
+                "acked writes were lost"
+            } else {
+                "unacked epochs materialized under a quiescent writer"
+            }
+        ));
+    }
+    let k = 8;
+    let reply = rpc(
+        &mut conn,
+        addr,
+        &format!("TOPK {name} {k} core::compute_all"),
+        &mut scratch,
+    )?;
+    if !reply.starts_with("OK top") {
+        return Err(format!("TOPK after recovery: {reply}"));
+    }
+    check_read(&reply, g0, &report.ops, report.acked_epoch, report.batch, k)
+        .map_err(|why| format!("recovered top-k: {why}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_covers_every_kind() {
+        for seed in [7u64, 42, 1 << 40] {
+            let mut seen = [false; FaultKind::ALL.len()];
+            for conn in 0..FaultKind::ALL.len() as u64 {
+                let a = FaultPlan::for_conn(seed, conn);
+                let b = FaultPlan::for_conn(seed, conn);
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.at_byte, b.at_byte);
+                assert_eq!(a.millis, b.millis);
+                let idx = FaultKind::ALL.iter().position(|k| *k == a.kind).unwrap();
+                seen[idx] = true;
+            }
+            assert!(
+                seen.iter().all(|s| *s),
+                "six consecutive connections must cover all kinds (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_through_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let got = recv_frame(&mut s).unwrap();
+            send_frame(&mut s, &format!("echo {got}")).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        send_frame(&mut c, "PING").unwrap();
+        assert_eq!(recv_frame(&mut c).unwrap(), "echo PING");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_not_returned() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(b"6\nOK t\xFFp").unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let err = recv_frame(&mut c).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn entry_parser_reads_the_wire_form() {
+        let line = "OK top name=g epoch=3 k=2 source=cache entries=4:1.5,0:0.25";
+        assert_eq!(parse_entries(line).unwrap(), vec![(4, 1.5), (0, 0.25)]);
+        assert_eq!(field_u64(line, "epoch"), Some(3));
+        assert!(parse_entries("OK top name=g entries=4:").is_err());
+    }
+}

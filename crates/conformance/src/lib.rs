@@ -21,14 +21,20 @@
 //! * [`harness`] — one case through all oracles, including the graph
 //!   layer's structural invariant checks;
 //! * [`shrink`] — greedy reduction of a failing case to a minimal one;
+//! * [`chaos`] — a seeded fault-injection TCP proxy plus an
+//!   oracle-checked chaos workload that turns the same replay truth
+//!   against the *serving* path under delays, stalls, cuts, corruption,
+//!   and resets;
 //! * the `stress` binary — reproducible sweeps (`--seed`, `--budget`),
-//!   printing any shrunk failure as a ready-to-paste `#[test]`.
+//!   printing any shrunk failure as a ready-to-paste `#[test]`, and a
+//!   `--chaos` mode that drives a real daemon through the proxy.
 //!
 //! See `docs/TESTING.md` for the full oracle matrix and workflows.
 
 #![warn(missing_docs)]
 
 pub mod case;
+pub mod chaos;
 pub mod compare;
 pub mod harness;
 pub mod oracle;
@@ -36,6 +42,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use case::Case;
+pub use chaos::{
+    run_chaos_workload, verify_recovered, ChaosProxy, ChaosReport, FaultKind, FaultPlan,
+};
 pub use compare::{approx_eq, check_topk, check_topk_statistical, REL_TOL};
 pub use harness::{assert_case, check_case, check_case_with, Mismatch};
 pub use oracle::{all_oracles, approx_check, ApproxOracle, FaultyOracle, Mutation, Oracle};

@@ -40,6 +40,7 @@
 //! engine (mirroring the delta-maintainer fault pattern), so the
 //! statistical tier can prove it would catch a real implementation bug.
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::naive::ego_betweenness_of;
 use egobtw_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
@@ -380,6 +381,30 @@ pub fn approx_topk_with_fault(
     params: &ApproxParams,
     fault: ApproxFault,
 ) -> ApproxTopk {
+    approx_topk_inner(g, k, params, fault, &Cancel::never())
+        .expect("a never-cancelled sampler cannot be cancelled")
+}
+
+/// [`approx_topk`] with cooperative cancellation, polled at every adaptive
+/// round boundary (rounds are the sampler's natural checkpoint: CI state
+/// is consistent there and the per-round cost is bounded by the batch
+/// schedule). Cancelling mid-round wastes at most that round's batches.
+pub fn approx_topk_cancellable(
+    g: &CsrGraph,
+    k: usize,
+    params: &ApproxParams,
+    cancel: &Cancel,
+) -> Result<ApproxTopk, Cancelled> {
+    approx_topk_inner(g, k, params, ApproxFault::None, cancel)
+}
+
+fn approx_topk_inner(
+    g: &CsrGraph,
+    k: usize,
+    params: &ApproxParams,
+    fault: ApproxFault,
+    cancel: &Cancel,
+) -> Result<ApproxTopk, Cancelled> {
     let n = g.n();
     let k = k.min(n);
     let max_degree = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
@@ -469,6 +494,7 @@ pub fn approx_topk_with_fault(
     let threads = params.threads.max(1);
 
     loop {
+        cancel.check()?;
         // Reject / settle / resolve against the current confidence
         // boundaries λ and H_{k+1}.
         let lambda = kth_largest_lo(&states);
@@ -684,14 +710,14 @@ pub fn approx_topk_with_fault(
         })
         .collect();
 
-    ApproxTopk {
+    Ok(ApproxTopk {
         entries,
         uncovered_hi,
         rank_slack,
         samples_drawn,
         rounds,
         budget_exhausted,
-    }
+    })
 }
 
 #[cfg(test)]

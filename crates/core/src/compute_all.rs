@@ -14,6 +14,7 @@
 //! The result is the same complete map store the ordered engine produces,
 //! by a strictly simpler loop.
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::smap::SMapStore;
 use crate::stats::SearchStats;
 use egobtw_graph::{CsrGraph, EdgeSet, KernelParams, VertexId};
@@ -21,6 +22,41 @@ use egobtw_graph::{CsrGraph, EdgeSet, KernelParams, VertexId};
 /// Computes `CB(v)` for every vertex. Returns the values and work counters.
 pub fn compute_all(g: &CsrGraph) -> (Vec<f64>, SearchStats) {
     compute_all_with(g, &KernelParams::new())
+}
+
+/// Vertices per ownership chunk between cancellation checkpoints in
+/// [`compute_all_cancellable`]: small enough that a cancelled pass stops
+/// within milliseconds, large enough that the checks are free.
+const CANCEL_CHUNK: usize = 512;
+
+/// [`compute_all`] with cooperative cancellation: the edge-centric pass is
+/// driven in [`CANCEL_CHUNK`]-vertex ownership ranges through the same
+/// [`process_edge_range_with`] kernel (so results stay bit-identical),
+/// polling `cancel` between chunks and between finalize blocks.
+pub fn compute_all_cancellable(
+    g: &CsrGraph,
+    cancel: &Cancel,
+) -> Result<(Vec<f64>, SearchStats), Cancelled> {
+    let params = KernelParams::new();
+    let mut store = SMapStore::new(g.n());
+    let mut stats = SearchStats::default();
+    let edges = EdgeSet::from_graph(g);
+    let mut lo = 0usize;
+    while lo < g.n() {
+        cancel.check()?;
+        let hi = (lo + CANCEL_CHUNK).min(g.n());
+        process_edge_range_with(g, &edges, &mut store, &mut stats, lo, hi, &params);
+        lo = hi;
+    }
+    let mut cb = Vec::with_capacity(g.n());
+    for v in 0..g.n() as VertexId {
+        if (v as usize).is_multiple_of(CANCEL_CHUNK) {
+            cancel.check()?;
+        }
+        cb.push(store.map(v).cb_given_degree_det(g.degree(v)));
+    }
+    stats.exact_computations = g.n();
+    Ok((cb, stats))
 }
 
 /// [`compute_all`] with pinned intersection-dispatch thresholds — the perf
@@ -194,6 +230,20 @@ mod tests {
             stats.triangles_processed,
             3 * egobtw_graph::triangle::count_triangles(&g)
         );
+    }
+
+    #[test]
+    fn cancellable_pass_is_bit_identical_and_aborts_when_cancelled() {
+        let g = gnp(60, 0.15, 3);
+        let (plain, _) = compute_all(&g);
+        let (chunked, _) = compute_all_cancellable(&g, &Cancel::never()).unwrap();
+        assert_eq!(plain, chunked, "chunked drive must not change results");
+        let cancelled = Cancel::new();
+        cancelled.cancel();
+        assert!(matches!(
+            compute_all_cancellable(&g, &cancelled),
+            Err(Cancelled)
+        ));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   bookkeeping that counts each connector exactly once;
 //! * [`bounds`] — the static upper bound `ub` (Lemma 2) and the dynamic,
 //!   monotonically tightening bound `ũb` (Lemma 3);
+//! * [`cancel`] — the cooperative [`Cancel`] token (explicit flag +
+//!   optional deadline) every engine polls at coarse checkpoints, so a
+//!   serving layer can stop an abandoned or deadline-expired request;
 //! * [`base_search`] — **BaseBSearch** (Algorithm 1);
 //! * [`opt_search`] — **OptBSearch** (Algorithm 2) with the gradient ratio
 //!   `θ` and EgoBWCal (Algorithm 3);
@@ -54,6 +57,7 @@
 pub mod approx;
 pub mod base_search;
 pub mod bounds;
+pub mod cancel;
 pub mod compute_all;
 pub mod engine;
 pub mod naive;
@@ -64,14 +68,16 @@ pub mod stats;
 pub mod topk;
 
 pub use approx::{
-    approx_topk, approx_topk_with_fault, binomial_tail_ge, clopper_pearson_upper, eb_half_width,
-    round_delta, ApproxEntry, ApproxFault, ApproxParams, ApproxTopk, SamplingStrategy,
+    approx_topk, approx_topk_cancellable, approx_topk_with_fault, binomial_tail_ge,
+    clopper_pearson_upper, eb_half_width, round_delta, ApproxEntry, ApproxFault, ApproxParams,
+    ApproxTopk, SamplingStrategy,
 };
 pub use base_search::base_bsearch;
-pub use compute_all::compute_all;
+pub use cancel::{Cancel, Cancelled};
+pub use compute_all::{compute_all, compute_all_cancellable};
 pub use engine::Engine;
-pub use naive::{compute_all_naive, ego_betweenness_of, EgoView};
-pub use opt_search::{opt_bsearch, OptParams};
+pub use naive::{compute_all_naive, compute_all_naive_cancellable, ego_betweenness_of, EgoView};
+pub use opt_search::{opt_bsearch, opt_bsearch_cancellable, OptParams};
 pub use registry::{builtin_engines, topk_from_scores, EngineKind, RegisteredEngine};
 pub use stats::SearchStats;
 pub use topk::{TopKSet, TopkResult};

@@ -186,6 +186,22 @@ pub fn compute_all_naive(g: &CsrGraph) -> Vec<f64> {
         .collect()
 }
 
+/// [`compute_all_naive`] polling `cancel` every few hundred egos, so a
+/// deadline-expired or abandoned request stops mid-sweep.
+pub fn compute_all_naive_cancellable(
+    g: &CsrGraph,
+    cancel: &crate::cancel::Cancel,
+) -> Result<Vec<f64>, crate::cancel::Cancelled> {
+    let mut out = Vec::with_capacity(g.n());
+    for p in 0..g.n() as VertexId {
+        if p % 256 == 0 {
+            cancel.check()?;
+        }
+        out.push(ego_betweenness_of(g, p));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,7 @@
 //! it are stale and skipped — the flat-structure idiom recommended over
 //! decrease-key heaps.
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::engine::Engine;
 use crate::topk::{OrdF64, TopKSet, TopkResult};
 use egobtw_graph::{CsrGraph, VertexId};
@@ -35,14 +36,31 @@ impl Default for OptParams {
 
 /// Runs OptBSearch for the top `k` ego-betweenness vertices.
 pub fn opt_bsearch(g: &CsrGraph, k: usize, params: OptParams) -> TopkResult {
+    opt_bsearch_cancellable(g, k, params, &Cancel::never())
+        .expect("a never-cancelled search cannot be cancelled")
+}
+
+/// Heap pops between cancellation checkpoints in
+/// [`opt_bsearch_cancellable`] — an exact computation per pop is the unit
+/// of work, so this bounds wasted post-cancel work to a handful of egos.
+const CANCEL_POLL_POPS: u32 = 32;
+
+/// [`opt_bsearch`] with cooperative cancellation, polled every
+/// [`CANCEL_POLL_POPS`] heap pops.
+pub fn opt_bsearch_cancellable(
+    g: &CsrGraph,
+    k: usize,
+    params: OptParams,
+    cancel: &Cancel,
+) -> Result<TopkResult, Cancelled> {
     assert!(params.theta >= 1.0, "θ must be ≥ 1");
     let mut engine = Engine::new(g);
     let mut top = TopKSet::new(k);
     if k == 0 || g.n() == 0 {
-        return TopkResult {
+        return Ok(TopkResult {
             entries: Vec::new(),
             stats: engine.stats,
-        };
+        });
     }
     let n = g.n();
     // Live bound per vertex; NEG_INFINITY once computed exactly or pruned.
@@ -51,7 +69,15 @@ pub fn opt_bsearch(g: &CsrGraph, k: usize, params: OptParams) -> TopkResult {
         .map(|v| (OrdF64(bound[v as usize]), v))
         .collect();
 
+    let mut pops = 0u32;
     while let Some((OrdF64(tb), v)) = heap.pop() {
+        pops += 1;
+        // `== 1` so the very first pop polls: a token fired before the
+        // search started must cancel even a search that would terminate
+        // early, and `k` small searches often pop < CANCEL_POLL_POPS times.
+        if pops % CANCEL_POLL_POPS == 1 {
+            cancel.check()?;
+        }
         if tb != bound[v as usize] {
             continue; // stale duplicate
         }
@@ -81,10 +107,10 @@ pub fn opt_bsearch(g: &CsrGraph, k: usize, params: OptParams) -> TopkResult {
         bound[v as usize] = f64::NEG_INFINITY;
         top.offer(v, cb);
     }
-    TopkResult {
+    Ok(TopkResult {
         entries: top.into_sorted_vec(),
         stats: engine.stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,5 +238,20 @@ mod tests {
         let g = CsrGraph::from_edges(0, &[]);
         let r = opt_bsearch(&g, 3, OptParams::default());
         assert!(r.entries.is_empty());
+    }
+
+    #[test]
+    fn cancelled_search_stops_instead_of_answering() {
+        let g = gnp(80, 0.1, 11);
+        let token = Cancel::new();
+        token.cancel();
+        assert!(matches!(
+            opt_bsearch_cancellable(&g, 10, OptParams::default(), &token),
+            Err(Cancelled)
+        ));
+        // And a live token changes nothing about the answer.
+        let fine = opt_bsearch_cancellable(&g, 10, OptParams::default(), &Cancel::new()).unwrap();
+        let plain = opt_bsearch(&g, 10, OptParams::default());
+        assert_eq!(fine.entries, plain.entries);
     }
 }

@@ -9,19 +9,30 @@
 //! forgotten registration is a one-line fix rather than a silent coverage
 //! hole.
 //!
+//! Every engine closure takes a [`Cancel`] token and may return
+//! [`Cancelled`] from a coarse checkpoint (heap pop batch, vertex chunk,
+//! sampling round) — the serving layer threads per-request deadlines and
+//! disconnect detection through here so an abandoned exact search stops
+//! burning CPU. Harness code that has no deadline uses the infallible
+//! [`RegisteredEngine::topk`], which passes [`Cancel::never`].
+//!
 //! Crates higher in the dependency graph (parallel, dynamic) cannot
 //! register here without inverting dependencies; they expose the same
 //! shape by constructing [`RegisteredEngine`] values of their own, which
 //! the conformance layer appends to this list.
 
-use crate::approx::{approx_topk, ApproxParams, SamplingStrategy};
-use crate::naive::compute_all_naive;
-use crate::opt_search::{opt_bsearch, OptParams};
-use crate::{base_bsearch, compute_all};
+use crate::approx::{approx_topk_cancellable, ApproxParams, SamplingStrategy};
+use crate::base_bsearch;
+use crate::cancel::{Cancel, Cancelled};
+use crate::compute_all::compute_all_cancellable;
+use crate::naive::compute_all_naive_cancellable;
+use crate::opt_search::{opt_bsearch_cancellable, OptParams};
 use egobtw_graph::{CsrGraph, HybridConfig, Relabeling, VertexId};
 
-/// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out.
-pub type EngineFn = Box<dyn Fn(&CsrGraph, usize) -> Vec<(VertexId, f64)> + Send + Sync>;
+/// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out —
+/// unless the token cancels the run first.
+pub type EngineFn =
+    Box<dyn Fn(&CsrGraph, usize, &Cancel) -> Result<Vec<(VertexId, f64)>, Cancelled> + Send + Sync>;
 
 /// What an engine promises about its output — the conformance layer picks
 /// its comparator from this tag.
@@ -78,7 +89,20 @@ impl RegisteredEngine {
     /// Runs the engine: top-`k` entries sorted by descending `CB`
     /// (ascending vertex id among exact float ties).
     pub fn topk(&self, g: &CsrGraph, k: usize) -> Vec<(VertexId, f64)> {
-        (self.run)(g, k)
+        (self.run)(g, k, &Cancel::never())
+            .expect("a never-cancelled engine run cannot be cancelled")
+    }
+
+    /// [`RegisteredEngine::topk`] under a cancellation token: returns
+    /// [`Cancelled`] once the engine observes an expired deadline or a
+    /// fired flag at one of its checkpoints.
+    pub fn topk_cancellable(
+        &self,
+        g: &CsrGraph,
+        k: usize,
+        cancel: &Cancel,
+    ) -> Result<Vec<(VertexId, f64)>, Cancelled> {
+        (self.run)(g, k, cancel)
     }
 }
 
@@ -128,45 +152,66 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
     let mut engines = vec![
         RegisteredEngine::new(
             "core::naive",
-            Box::new(|g: &CsrGraph, k| topk_from_scores(&compute_all_naive(g), k)) as EngineFn,
+            Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
+                Ok(topk_from_scores(
+                    &compute_all_naive_cancellable(g, cancel)?,
+                    k,
+                ))
+            }) as EngineFn,
         ),
         RegisteredEngine::new(
             "core::compute_all",
-            Box::new(|g: &CsrGraph, k| topk_from_scores(&compute_all(g).0, k)) as EngineFn,
+            Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
+                Ok(topk_from_scores(&compute_all_cancellable(g, cancel)?.0, k))
+            }) as EngineFn,
         ),
         RegisteredEngine::new(
             "core::base_search",
-            Box::new(|g: &CsrGraph, k| base_bsearch(g, k).entries) as EngineFn,
+            // BaseBSearch's frozen-bound sweep has no natural mid-run
+            // checkpoint; it honors cancellation at entry only.
+            Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
+                cancel.check()?;
+                Ok(base_bsearch(g, k).entries)
+            }) as EngineFn,
         ),
     ];
     for theta in [1.0, 1.05, 2.0] {
         engines.push(RegisteredEngine::new(
             format!("core::opt_search(θ={theta:.2})"),
-            Box::new(move |g: &CsrGraph, k| opt_bsearch(g, k, OptParams { theta }).entries)
-                as EngineFn,
+            Box::new(move |g: &CsrGraph, k, cancel: &Cancel| {
+                Ok(opt_bsearch_cancellable(g, k, OptParams { theta }, cancel)?.entries)
+            }) as EngineFn,
         ));
     }
     engines.push(RegisteredEngine::new(
         "core::compute_all(degree-relabel)",
-        Box::new(|g: &CsrGraph, k| {
+        Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
             let relab = Relabeling::degree_descending(g);
             let rg = relab.apply(g);
-            topk_from_scores(&relab.restore_scores(&compute_all(&rg).0), k)
+            Ok(topk_from_scores(
+                &relab.restore_scores(&compute_all_cancellable(&rg, cancel)?.0),
+                k,
+            ))
         }) as EngineFn,
     ));
     engines.push(RegisteredEngine::new(
         "core::compute_all(bitmap-dense)",
-        Box::new(|g: &CsrGraph, k| {
+        Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
             let dense = g.with_hybrid_config(&HybridConfig::dense());
-            topk_from_scores(&compute_all(&dense).0, k)
+            Ok(topk_from_scores(
+                &compute_all_cancellable(&dense, cancel)?.0,
+                k,
+            ))
         }) as EngineFn,
     ));
     engines.push(RegisteredEngine::new(
         "core::opt_search(θ=1.05, degree-relabel)",
-        Box::new(|g: &CsrGraph, k| {
+        Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
             let relab = Relabeling::degree_descending(g);
             let rg = relab.apply(g);
-            relab.restore_topk(opt_bsearch(&rg, k, OptParams { theta: 1.05 }).entries)
+            Ok(relab.restore_topk(
+                opt_bsearch_cancellable(&rg, k, OptParams { theta: 1.05 }, cancel)?.entries,
+            ))
         }) as EngineFn,
     ));
     for (tag, strategy) in [
@@ -186,7 +231,9 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
                 eps: params.eps,
                 delta: params.delta,
             },
-            Box::new(move |g: &CsrGraph, k| approx_topk(g, k, &params).topk_entries()) as EngineFn,
+            Box::new(move |g: &CsrGraph, k, cancel: &Cancel| {
+                Ok(approx_topk_cancellable(g, k, &params, cancel)?.topk_entries())
+            }) as EngineFn,
         ));
     }
     engines
@@ -195,6 +242,7 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::compute_all_naive;
     use egobtw_gen::classic;
 
     #[test]
@@ -217,6 +265,20 @@ mod tests {
             for (rank, ((_, a), (_, b))) in got.iter().zip(&reference).enumerate() {
                 assert!((a - b).abs() < 1e-9, "{} rank {rank}: {a} vs {b}", e.name());
             }
+        }
+    }
+
+    #[test]
+    fn every_builtin_respects_a_fired_cancel_token() {
+        let g = classic::karate_club();
+        let token = Cancel::new();
+        token.cancel();
+        for e in builtin_engines() {
+            assert!(
+                matches!(e.topk_cancellable(&g, 5, &token), Err(Cancelled)),
+                "{} ignored a fired cancel token",
+                e.name()
+            );
         }
     }
 

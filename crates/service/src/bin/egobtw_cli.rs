@@ -23,6 +23,9 @@
 //!                   oracle-checked reads (always in-process)
 //!     --skew        add the shard-skew scenario: all datasets concurrent,
 //!                   writes concentrated on the first (needs ≥2 datasets)
+//!     --overload    add the overload scenario: a tiny saturated TCP server,
+//!                   recording shed rate, saturation QPS, and admitted-read
+//!                   percentiles (always spawns its own server)
 //!     --tenants N   add the multi-tenant scenario with N ≥ 2 synthesized
 //!                   tiny datasets in one catalog (always in-process)
 //!     --threads N   client threads per dataset (default 4)
@@ -154,6 +157,11 @@ fn run_loadgen(argv: &[String]) -> i32 {
             }
             "--skew" => {
                 extras.skew = true;
+                i += 1;
+                continue;
+            }
+            "--overload" => {
+                extras.overload = true;
                 i += 1;
                 continue;
             }

@@ -14,16 +14,62 @@
 //!   --compact-every N    snapshot + truncate the WAL every N batches (default 64)
 //!   --shards N           catalog shards (default 8)
 //!   --shard-writers N    writer threads per shard (default 2)
+//!   --default-deadline MS   deadline for commands without a DEADLINE prefix
+//!                        (default 0 = unlimited)
+//!   --max-conns N        accepted-and-unfinished connection cap (default 256;
+//!                        0 = unlimited); past it, clients get ERR busy
+//!   --queue N            connections that may wait for a worker (default 64)
+//!   --io-timeout MS      per-socket read/write timeout — slow or silent
+//!                        clients lose their session (default 30000; 0 = off)
+//!   --watermark N        concurrent engine computations before TOPK requests
+//!                        are shed with ERR busy (default 0 = unlimited)
+//!   --drain-grace MS     SIGTERM drain budget for in-flight requests
+//!                        (default 2000)
 //! ```
 //!
 //! Prints one `recovered <name> …` line per rebuilt dataset, then one
 //! `listening on <addr>` line once the socket is bound (CI and scripts
-//! wait for it), then serves until killed.
+//! wait for it), then serves until killed. On SIGTERM (or SIGINT) it
+//! drains: stops accepting, finishes or cancels in-flight work within
+//! `--drain-grace`, fsyncs every WAL, and exits 0.
 
 use egobtw_service::catalog::Mode;
-use egobtw_service::{CatalogConfig, FsyncPolicy, PersistConfig, Server, Service};
+use egobtw_service::{CatalogConfig, FsyncPolicy, PersistConfig, Server, ServerConfig, Service};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Async-signal-safe termination latch: the handler only stores to an
+/// atomic; the main thread polls it. Installed via the C `signal`
+/// function, which std's libc linkage already provides on Unix.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 struct Args {
     listen: String,
@@ -34,6 +80,12 @@ struct Args {
     compact_every: u64,
     shards: usize,
     shard_writers: usize,
+    default_deadline: u64,
+    max_conns: usize,
+    queue: usize,
+    io_timeout: u64,
+    watermark: u64,
+    drain_grace: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +99,12 @@ fn parse_args() -> Result<Args, String> {
         compact_every: 64,
         shards: 8,
         shard_writers: 2,
+        default_deadline: 0,
+        max_conns: 256,
+        queue: 64,
+        io_timeout: 30_000,
+        watermark: 0,
+        drain_grace: 2_000,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -80,6 +138,28 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--shard-writers: {e}"))?
             }
+            "--default-deadline" => {
+                args.default_deadline = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--default-deadline: {e}"))?
+            }
+            "--max-conns" => {
+                args.max_conns = value(i)?.parse().map_err(|e| format!("--max-conns: {e}"))?
+            }
+            "--queue" => args.queue = value(i)?.parse().map_err(|e| format!("--queue: {e}"))?,
+            "--io-timeout" => {
+                args.io_timeout = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--io-timeout: {e}"))?
+            }
+            "--watermark" => {
+                args.watermark = value(i)?.parse().map_err(|e| format!("--watermark: {e}"))?
+            }
+            "--drain-grace" => {
+                args.drain_grace = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--drain-grace: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -89,6 +169,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.shards == 0 || args.shard_writers == 0 || args.compact_every == 0 {
         return Err("--shards, --shard-writers, --compact-every must be ≥ 1".into());
+    }
+    if args.queue == 0 {
+        return Err("--queue must be ≥ 1".into());
     }
     Ok(args)
 }
@@ -101,7 +184,8 @@ fn main() {
             eprintln!(
                 "usage: egobtw-serve [--listen ADDR] [--threads N] [--load NAME=PATH[:MODE]]... \
                  [--data-dir PATH] [--fsync always|never] [--compact-every N] [--shards N] \
-                 [--shard-writers N]"
+                 [--shard-writers N] [--default-deadline MS] [--max-conns N] [--queue N] \
+                 [--io-timeout MS] [--watermark N] [--drain-grace MS]"
             );
             std::process::exit(2);
         }
@@ -111,11 +195,16 @@ fn main() {
         fsync: args.fsync,
         compact_every: args.compact_every,
     });
-    let service = Arc::new(Service::with_config(CatalogConfig {
+    let mut service = Service::with_config(CatalogConfig {
         shards: args.shards,
         writers_per_shard: args.shard_writers,
         persist,
-    }));
+    });
+    if args.default_deadline > 0 {
+        service.set_default_deadline(Some(Duration::from_millis(args.default_deadline)));
+    }
+    service.set_compute_watermark(args.watermark);
+    let service = Arc::new(service);
     let recovered = match service.recover() {
         Ok(r) => r,
         Err(e) => {
@@ -142,7 +231,14 @@ fn main() {
             }
         }
     }
-    let server = match Server::spawn(service, args.listen.as_str(), args.threads) {
+    let cfg = ServerConfig {
+        threads: args.threads,
+        queue_cap: args.queue,
+        max_conns: args.max_conns,
+        io_timeout: (args.io_timeout > 0).then(|| Duration::from_millis(args.io_timeout)),
+        drain_grace: Duration::from_millis(args.drain_grace),
+    };
+    let server = match Server::spawn_with(service.clone(), args.listen.as_str(), cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("egobtw-serve: bind {}: {e}", args.listen);
@@ -157,8 +253,28 @@ fn main() {
     // Kill-and-replay tests read this line through a pipe; without the
     // flush it sits in the block buffer until the process dies.
     let _ = std::io::stdout().flush();
-    // Serve until killed: park this thread forever.
+    #[cfg(unix)]
+    term_signal::install();
+    // Serve until asked to stop (SIGTERM/SIGINT set the latch; a SIGKILL
+    // is the crash path the recovery tests cover).
     loop {
-        std::thread::park();
+        #[cfg(unix)]
+        if term_signal::requested() {
+            break;
+        }
+        std::thread::park_timeout(Duration::from_millis(100));
     }
+    // Shutdown prints are best-effort: the supervisor that sent the
+    // SIGTERM may already have closed our stdout pipe, and a broken pipe
+    // must not turn a clean drain into a panic (println! would).
+    let _ = writeln!(std::io::stdout(), "draining (grace={}ms)", args.drain_grace);
+    let _ = std::io::stdout().flush();
+    server.drain(Duration::from_millis(args.drain_grace));
+    // Durability barrier: whatever was acked is on disk before exit 0.
+    if let Err(e) = service.catalog().sync_all() {
+        eprintln!("egobtw-serve: wal sync during drain: {e}");
+        std::process::exit(1);
+    }
+    let _ = writeln!(std::io::stdout(), "drained; exiting");
+    let _ = std::io::stdout().flush();
 }

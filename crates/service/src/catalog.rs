@@ -404,12 +404,40 @@ struct DatasetPersist {
     compact_every: u64,
 }
 
+/// What the writer remembers about the last sequenced batch it applied —
+/// enough to recognize a client's retry of an already-acked batch (same
+/// expected-epoch token, same ops) and re-ack it without reapplying.
+#[derive(Clone, Copy, Debug)]
+struct SeqRecord {
+    seq: u64,
+    ops_hash: u64,
+    outcome: UpdateOutcome,
+}
+
 struct Writer {
     maintainer: Maintainer,
     epoch: u64,
     /// Total ops accepted (graph actually changed) since load or recovery.
     ops_applied: u64,
     persist: Option<DatasetPersist>,
+    /// Last `seq=`-tokened batch applied (None after restart — recovery
+    /// clients resolve ambiguity by comparing STATS epoch to their token).
+    last_seq: Option<SeqRecord>,
+}
+
+/// Order-sensitive fingerprint of an op batch, for duplicate detection.
+fn ops_fingerprint(ops: &[EdgeOp]) -> u64 {
+    let mut bytes = Vec::with_capacity(ops.len() * 9);
+    for op in ops {
+        bytes.push(match op {
+            EdgeOp::Insert(..) => b'+',
+            EdgeOp::Delete(..) => b'-',
+        });
+        let (u, v) = op.endpoints();
+        bytes.extend_from_slice(&u.to_le_bytes());
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&bytes)
 }
 
 /// Outcome of one published update batch.
@@ -478,6 +506,7 @@ impl Dataset {
                 epoch: 0,
                 ops_applied: 0,
                 persist: None,
+                last_seq: None,
             }),
             current: RwLock::new(Arc::new(snapshot)),
             retired: AtomicBool::new(false),
@@ -565,6 +594,7 @@ impl Dataset {
                 wal: wal_handle,
                 compact_every: cfg.compact_every.max(1),
             }),
+            last_seq: None,
         };
         let snapshot = Self::build_snapshot(mode, &mut writer);
         let ds = Dataset {
@@ -641,9 +671,39 @@ impl Dataset {
     /// in which case the dataset retires itself, because the in-memory
     /// maintainer has advanced past what the log can replay.
     pub fn apply_updates(&self, ops: &[EdgeOp]) -> Result<UpdateOutcome, String> {
+        self.apply_updates_seq(ops, None)
+    }
+
+    /// [`Dataset::apply_updates`] with an optional idempotency token: `seq`
+    /// is the epoch the client believes is current, i.e. the epoch its ack
+    /// would advance *from*. A batch whose token does not match the
+    /// writer's epoch is refused (`stale seq`) — **unless** it re-sends the
+    /// writer's last applied sequenced batch (same token, same ops), in
+    /// which case the recorded outcome is re-acked without reapplying.
+    /// That makes blind client retries of a lost `OK update` ack safe: at
+    /// most one application, never a silent double-apply.
+    pub fn apply_updates_seq(
+        &self,
+        ops: &[EdgeOp],
+        seq: Option<u64>,
+    ) -> Result<UpdateOutcome, String> {
         let mut w = self.writer.lock().unwrap();
         if self.retired() {
             return Err(format!("dataset {:?} is retired", self.name));
+        }
+        let ops_hash = seq.map(|_| ops_fingerprint(ops));
+        if let Some(s) = seq {
+            if let Some(last) = w.last_seq {
+                if last.seq == s && Some(last.ops_hash) == ops_hash {
+                    return Ok(last.outcome); // duplicate retry: re-ack
+                }
+            }
+            if w.epoch != s {
+                return Err(format!(
+                    "stale seq={s}: dataset {:?} is at epoch {}",
+                    self.name, w.epoch
+                ));
+            }
         }
         let n = w.maintainer.n();
         let mut applied = 0usize;
@@ -685,13 +745,33 @@ impl Dataset {
                 }
             }
         }
-        Ok(UpdateOutcome {
+        let outcome = UpdateOutcome {
             epoch,
             applied,
             skipped: ops.len() - applied,
             n: sn,
             m: sm,
-        })
+        };
+        w.last_seq = seq.map(|s| SeqRecord {
+            seq: s,
+            ops_hash: ops_hash.unwrap_or(0),
+            outcome,
+        });
+        Ok(outcome)
+    }
+
+    /// Forces the WAL's bytes to stable storage now, regardless of the
+    /// fsync policy — the graceful-drain path calls this so an exit 0
+    /// promises every acked epoch is durable even under
+    /// [`crate::wal::FsyncPolicy::Never`]. No-op for in-memory datasets.
+    pub fn sync_wal(&self) -> Result<(), String> {
+        let mut w = self.writer.lock().unwrap();
+        if let Some(p) = w.persist.as_mut() {
+            p.wal
+                .sync()
+                .map_err(|e| format!("sync WAL of {:?}: {e}", self.name))?;
+        }
+        Ok(())
     }
 
     /// Forces a snapshot compaction now (also runs automatically every
@@ -790,6 +870,7 @@ impl Dataset {
 struct UpdateJob {
     ds: Arc<Dataset>,
     ops: Vec<EdgeOp>,
+    seq: Option<u64>,
     reply: Sender<Result<UpdateOutcome, String>>,
 }
 
@@ -816,7 +897,7 @@ impl WriterPool {
                             Err(_) => return,
                         };
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            job.ds.apply_updates(&job.ops)
+                            job.ds.apply_updates_seq(&job.ops, job.seq)
                         }))
                         .unwrap_or_else(|_| Err("update worker panicked applying batch".into()));
                         let _ = job.reply.send(result);
@@ -975,6 +1056,17 @@ impl Catalog {
     /// waits for the outcome. Batches for datasets in other shards run on
     /// other pools concurrently.
     pub fn apply_updates(&self, name: &str, ops: Vec<EdgeOp>) -> Result<UpdateOutcome, String> {
+        self.apply_updates_seq(name, ops, None)
+    }
+
+    /// [`Catalog::apply_updates`] carrying the client's idempotency token
+    /// through to [`Dataset::apply_updates_seq`].
+    pub fn apply_updates_seq(
+        &self,
+        name: &str,
+        ops: Vec<EdgeOp>,
+        seq: Option<u64>,
+    ) -> Result<UpdateOutcome, String> {
         let ds = self.get(name)?;
         let shard = self.shard(name);
         let (reply_tx, reply_rx) = channel();
@@ -985,6 +1077,7 @@ impl Catalog {
                 .send(UpdateJob {
                     ds,
                     ops,
+                    seq,
                     reply: reply_tx,
                 })
                 .map_err(|_| "writer pool is shut down".to_string())?;
@@ -992,6 +1085,25 @@ impl Catalog {
         reply_rx
             .recv()
             .map_err(|_| "writer pool dropped the batch".to_string())?
+    }
+
+    /// Fsyncs every persistent dataset's WAL (see [`Dataset::sync_wal`]) —
+    /// the drain path's durability barrier before exit 0. Returns the
+    /// first error, after attempting every dataset.
+    pub fn sync_all(&self) -> Result<(), String> {
+        let mut first_err = None;
+        for shard in &self.shards {
+            let datasets: Vec<Arc<Dataset>> = shard.map.read().unwrap().values().cloned().collect();
+            for ds in datasets {
+                if let Err(e) = ds.sync_wal() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Removes a dataset: unlinks it from the map (new lookups fail
@@ -1309,6 +1421,56 @@ mod tests {
         assert!(err.contains("retired"), "{err}");
         // The name is free again.
         cat.insert("a", classic::star(6), Mode::default()).unwrap();
+    }
+
+    #[test]
+    fn seq_token_duplicate_retry_reacks_without_reapplying() {
+        let ds = Dataset::new("k", classic::star(8), Mode::default());
+        let batch = [EdgeOp::Insert(1, 2), EdgeOp::Insert(2, 3)];
+        let first = ds.apply_updates_seq(&batch, Some(0)).unwrap();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.applied, 2);
+        // A blind retry of the same (seq, ops) — a lost ack — re-acks the
+        // recorded outcome; nothing applies twice.
+        let again = ds.apply_updates_seq(&batch, Some(0)).unwrap();
+        assert_eq!((again.epoch, again.applied), (first.epoch, first.applied));
+        assert_eq!(ds.snapshot().epoch, 1, "no phantom epoch from the retry");
+        assert_eq!(ds.ops_applied(), 2);
+    }
+
+    #[test]
+    fn seq_token_mismatch_is_refused_naming_the_epoch() {
+        let ds = Dataset::new("k", classic::star(8), Mode::default());
+        ds.apply_updates_seq(&[EdgeOp::Insert(1, 2)], Some(0))
+            .unwrap();
+        // Wrong expectation: refused, and the error names where we are.
+        let err = ds
+            .apply_updates_seq(&[EdgeOp::Insert(3, 4)], Some(0))
+            .unwrap_err();
+        assert!(err.contains("stale seq=0") && err.ends_with('1'), "{err}");
+        // Same token but *different* ops is not the duplicate-retry case:
+        // acking it would claim we applied a batch we never saw.
+        let err = ds
+            .apply_updates_seq(&[EdgeOp::Insert(5, 6)], Some(0))
+            .unwrap_err();
+        assert!(err.contains("stale seq"), "{err}");
+        assert_eq!(ds.snapshot().epoch, 1);
+        // The correct next token proceeds.
+        let out = ds
+            .apply_updates_seq(&[EdgeOp::Insert(3, 4)], Some(1))
+            .unwrap();
+        assert_eq!(out.epoch, 2);
+    }
+
+    #[test]
+    fn unsequenced_updates_keep_at_least_once_semantics() {
+        let ds = Dataset::new("k", classic::star(8), Mode::default());
+        let batch = [EdgeOp::Insert(1, 2)];
+        assert_eq!(ds.apply_updates_seq(&batch, None).unwrap().epoch, 1);
+        // Without a token the same bytes are a *new* batch (dup insert
+        // skips, but the epoch still advances) — exactly at-least-once.
+        let again = ds.apply_updates_seq(&batch, None).unwrap();
+        assert_eq!((again.epoch, again.applied, again.skipped), (2, 0, 1));
     }
 
     #[test]

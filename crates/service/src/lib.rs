@@ -55,7 +55,10 @@ pub mod service;
 pub mod wal;
 
 pub use catalog::{Catalog, CatalogConfig, Dataset, EpochSnapshot, Mode, RecoveryReport};
-pub use proto::{parse_command, read_frame, write_frame, Command};
-pub use server::Server;
-pub use service::{Reply, Service};
+pub use proto::{parse_command, read_frame, split_deadline, write_frame, Command, MAX_UPDATE_OPS};
+pub use server::{
+    call_with_retry, connect_with_retry, is_retryable_response, roundtrip, RetryPolicy, Server,
+    ServerConfig,
+};
+pub use service::{OverloadState, Reply, Service, SHED_RETRY_MS};
 pub use wal::{FsyncPolicy, PersistConfig};

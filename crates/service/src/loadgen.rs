@@ -27,10 +27,20 @@
 //!   shard's writer storm.
 //! * `multi-tenant` — 100+ tiny synthesized datasets in one catalog with
 //!   light per-tenant traffic; one aggregate record.
+//! * `overload` — a deliberately tiny TCP server (2 workers, 2-slot
+//!   queue, compute watermark 1) hammered past saturation: records the
+//!   admitted-request QPS, the shed rate, and the latency percentiles of
+//!   the requests that *were* admitted — and asserts every refused
+//!   request got an explicit `ERR`, never a hang.
 //!
-//! Results go to `BENCH_service.json` (schema `egobtw/bench-service/v3`),
+//! Results go to `BENCH_service.json` (schema `egobtw/bench-service/v4`),
 //! one record per (scenario, dataset) with throughput and read/update
 //! latency percentiles; [`validate`] is the CI schema check.
+//!
+//! Writers send every `UPDATE` with a `seq=` idempotency token and retry
+//! refused or failed batches under jittered exponential backoff — a retry
+//! of an acked batch is re-acked, not reapplied, so at-least-once
+//! delivery never double-applies an op.
 //!
 //! The oracle check replays the writer's stream from scratch per sampled
 //! epoch with a cubic-per-vertex reference, so it is automatically
@@ -40,7 +50,9 @@
 
 use crate::catalog::{CatalogConfig, Mode};
 use crate::proto::parse_entries;
-use crate::server::{connect_with_retry, roundtrip};
+use crate::server::{
+    connect_with_retry, is_retryable_response, roundtrip, RetryPolicy, Server, ServerConfig,
+};
 use crate::service::Service;
 use crate::wal::{FsyncPolicy, PersistConfig};
 use conformance::{check_topk, REL_TOL};
@@ -53,11 +65,12 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Schema tag written into `BENCH_service.json`.
-pub const SCHEMA: &str = "egobtw/bench-service/v3";
+pub const SCHEMA: &str = "egobtw/bench-service/v4";
 
 /// One named read/write mix of a run.
 #[derive(Clone, Debug)]
@@ -82,6 +95,10 @@ pub struct ExtraScenarios {
     /// Tenant count for the `multi-tenant` scenario (`0` = off, minimum
     /// 2). Always in-process on synthesized tiny graphs.
     pub tenants: usize,
+    /// Run the `overload` scenario (tiny saturated TCP server → shed
+    /// rate, saturation QPS, admitted-read percentiles). Always spawns
+    /// its own server.
+    pub overload: bool,
 }
 
 /// Workload shape shared by every dataset in a run.
@@ -210,6 +227,25 @@ struct WorkerPlan<'a> {
     sample_every: usize,
 }
 
+/// One request, retried under `policy` while the server sheds or drains
+/// (`ERR busy` / `ERR draining`). Returns the last response either way —
+/// callers decide whether a still-refused final answer is fatal.
+fn round_backoff(
+    conn: &mut Conn<'_>,
+    payload: &str,
+    policy: &RetryPolicy,
+) -> Result<String, String> {
+    let mut reply = conn.round(payload)?;
+    for retry in 0..policy.attempts {
+        if !is_retryable_response(&reply) {
+            break;
+        }
+        std::thread::sleep(policy.backoff(retry));
+        reply = conn.round(payload)?;
+    }
+    Ok(reply)
+}
+
 fn writer_loop(
     conn: &mut Conn<'_>,
     plan: &WorkerPlan<'_>,
@@ -220,11 +256,22 @@ fn writer_loop(
 ) -> Result<ThreadLog, String> {
     let (name, n) = (plan.name, plan.n);
     let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xE12A_11E5);
+    let policy = RetryPolicy {
+        seed: plan.seed,
+        ..RetryPolicy::default()
+    };
     let mut log = ThreadLog::default();
+    // The seq idempotency token is the epoch each batch expects to
+    // advance from; anchor it on the dataset's current epoch (recovery
+    // scenarios start past zero).
+    let stats = conn.round(&format!("STATS {name}"))?;
+    let mut expected: u64 = field(expect_ok(&stats)?, "epoch")?
+        .parse()
+        .map_err(|_| format!("bad epoch in {stats:?}"))?;
     let mut sent = 0usize;
     while sent < updates {
         let take = batch.min(updates - sent);
-        let mut payload = format!("UPDATE {name}");
+        let mut payload = format!("UPDATE {name} seq={expected}");
         for _ in 0..take {
             // Pick a state-changing op against the writer's mirror.
             let (u, v) = loop {
@@ -249,13 +296,14 @@ fn writer_loop(
         }
         sent += take;
         let t0 = Instant::now();
-        let reply = conn.round(&payload)?;
+        let reply = round_backoff(conn, &payload, &policy)?;
         log.update_ns.push(t0.elapsed().as_nanos() as u64);
         let reply = expect_ok(&reply)?;
         let epoch: u64 = field(reply, "epoch")?
             .parse()
             .map_err(|_| format!("bad epoch in {reply:?}"))?;
         log.epochs.push((epoch, ops_log.len()));
+        expected = epoch;
     }
     Ok(log)
 }
@@ -267,6 +315,10 @@ fn reader_loop(
 ) -> Result<ThreadLog, String> {
     let (name, n, k) = (plan.name, plan.n, plan.k);
     let mut rng = StdRng::seed_from_u64(plan.seed);
+    let policy = RetryPolicy {
+        seed: plan.seed ^ 0x00C0_FFEE,
+        ..RetryPolicy::default()
+    };
     let mut log = ThreadLog::default();
     for i in 0..reads {
         let roll: f64 = rng.random_range(0.0..1.0);
@@ -280,7 +332,7 @@ fn reader_loop(
             format!("COMMON {name} {u} {v}")
         };
         let t0 = Instant::now();
-        let reply = conn.round(&payload)?;
+        let reply = round_backoff(conn, &payload, &policy)?;
         log.read_ns.push(t0.elapsed().as_nanos() as u64);
         let reply = expect_ok(&reply)?;
         if plan.check && payload.starts_with("TOPK") && i % plan.sample_every == 0 {
@@ -838,6 +890,183 @@ fn run_multi_tenant_scenario(cfg: &LoadgenConfig, tenants: usize) -> Result<Json
     ]))
 }
 
+/// `overload`: a deliberately tiny TCP server — 2 workers, a 2-slot
+/// pending queue, connection cap 8, compute watermark 1 — hammered by
+/// closer threads issuing cache-missing `TOPK` requests (an epoch-bumping
+/// writer keeps the per-epoch cache cold) over fresh connections. Records
+/// saturation QPS (admitted requests only), the shed rate, and p99 of
+/// admitted reads; fails if any request ends without an explicit outcome
+/// (`OK`, `ERR busy`, `ERR draining`, `ERR deadline`, or a transport
+/// error from a refused connection — never a hang).
+fn run_overload_scenario(cfg: &LoadgenConfig) -> Result<Json, String> {
+    const NAME: &str = "overload";
+    let g0 = egobtw_gen::gnp(150, 0.08, cfg.seed ^ 0x00EE_10AD);
+    let mut service = Service::new();
+    service.set_compute_watermark(1);
+    service.set_default_deadline(Some(Duration::from_millis(2_000)));
+    let service = Arc::new(service);
+    service.load_graph("ov", g0.clone(), Mode::default())?;
+    let server = Server::spawn_with(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            queue_cap: 2,
+            max_conns: 8,
+            io_timeout: Some(Duration::from_secs(5)),
+            drain_grace: Duration::from_millis(500),
+        },
+    )
+    .map_err(|e| format!("overload server: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    #[derive(Default)]
+    struct CloserLog {
+        admitted_ns: Vec<u64>,
+        shed: usize,
+        deadline: usize,
+        transport: usize,
+        unexpected: Option<String>,
+    }
+    let closers = cfg.threads.max(4);
+    let per_closer = (cfg.ops / closers).clamp(16, 120);
+    let stop_writer = AtomicBool::new(false);
+    let t_run = Instant::now();
+    let (logs, writer_epochs) = std::thread::scope(|scope| {
+        // Epoch-bumping writer: keeps the per-epoch result cache cold so
+        // reads actually reach the (watermarked) compute path.
+        let writer = {
+            let (addr, stop) = (addr.clone(), &stop_writer);
+            let seed = cfg.seed;
+            scope.spawn(move || {
+                let mut epochs = 0usize;
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xAB5E);
+                let Ok((mut reader, mut stream)) =
+                    connect_with_retry(&addr, Duration::from_secs(5))
+                else {
+                    return epochs;
+                };
+                let mut expected = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = rng.random_range(0..150u32);
+                    let v = (u + 1 + rng.random_range(0..148u32)) % 150;
+                    let payload = format!("UPDATE ov seq={expected} +{u},{v} -{u},{v}");
+                    match roundtrip(&mut reader, &mut stream, &payload) {
+                        Ok(reply) if reply.starts_with("OK ") => {
+                            epochs += 1;
+                            expected += 1;
+                        }
+                        Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(_) => break,
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                epochs
+            })
+        };
+        let handles: Vec<_> = (0..closers)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut log = CloserLog::default();
+                    for i in 0..per_closer {
+                        // Distinct k per request defeats same-epoch cache
+                        // coalescing; the explicit engine skips the free
+                        // maintained path.
+                        let k = 1 + (c * per_closer + i) % 32;
+                        let payload = format!("TOPK ov {k} core::compute_all");
+                        let t0 = Instant::now();
+                        match connect_with_retry(&addr, Duration::from_secs(2)).and_then(
+                            |(mut reader, mut stream)| {
+                                roundtrip(&mut reader, &mut stream, &payload)
+                            },
+                        ) {
+                            Ok(reply) if reply.starts_with("OK ") => {
+                                log.admitted_ns.push(t0.elapsed().as_nanos() as u64)
+                            }
+                            Ok(reply) if is_retryable_response(&reply) => log.shed += 1,
+                            Ok(reply) if reply.starts_with("ERR deadline") => log.deadline += 1,
+                            Ok(reply) => {
+                                // Any other reply is a real failure, not
+                                // an overload outcome.
+                                log.unexpected = Some(reply);
+                                break;
+                            }
+                            // A connection the acceptor refused and
+                            // closed mid-handshake surfaces as an I/O
+                            // error — an explicit outcome, not a hang.
+                            Err(_) => log.transport += 1,
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        let logs: Vec<CloserLog> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop_writer.store(true, Ordering::Relaxed);
+        (logs, writer.join().unwrap())
+    });
+    let run_wall = t_run.elapsed();
+    let t0 = Instant::now();
+    server.drain(Duration::from_millis(500));
+    let drain_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let mut admitted_ns = Vec::new();
+    let (mut shed, mut deadline, mut transport) = (0usize, 0usize, 0usize);
+    for log in logs {
+        if let Some(reply) = log.unexpected {
+            return Err(format!("overload closer: unexpected reply {reply:?}"));
+        }
+        admitted_ns.extend(log.admitted_ns);
+        shed += log.shed;
+        deadline += log.deadline;
+        transport += log.transport;
+    }
+    let total = admitted_ns.len() + shed + deadline + transport;
+    if total != closers * per_closer {
+        return Err(format!(
+            "overload scenario lost requests: {total} outcomes for {} sends",
+            closers * per_closer
+        ));
+    }
+    let admitted = admitted_ns.len();
+    if admitted == 0 {
+        return Err("overload scenario admitted no requests at all".into());
+    }
+    let saturation_qps = admitted as f64 / run_wall.as_secs_f64().max(1e-9);
+    let shed_rate = (shed + transport) as f64 / total as f64;
+    let record = record_json(RecordCore {
+        name: "ov".into(),
+        scenario: NAME.into(),
+        n: g0.n(),
+        m: g0.m(),
+        mode: Mode::default(),
+        threads: closers,
+        read_ns: admitted_ns,
+        update_ns: Vec::new(),
+        epochs_published: writer_epochs,
+        wall: run_wall,
+        check: false,
+        checked: 0,
+        violations: 0,
+        extra: vec![
+            ("admitted".into(), Json::Num(admitted as f64)),
+            ("shed".into(), Json::Num(shed as f64)),
+            ("deadline_expired".into(), Json::Num(deadline as f64)),
+            ("conn_refused".into(), Json::Num(transport as f64)),
+            ("shed_rate".into(), Json::Num(shed_rate)),
+            ("saturation_qps".into(), Json::Num(saturation_qps)),
+            ("drain_ms".into(), Json::Num(drain_ms)),
+        ],
+    });
+    Ok(Json::Obj(vec![
+        ("name".into(), Json::Str(NAME.into())),
+        ("kind".into(), Json::Str("overload".into())),
+        ("write_frac".into(), Json::Num(0.0)),
+        ("datasets".into(), Json::Arr(vec![record])),
+    ]))
+}
+
 /// Runs the full workload: every scenario in `mixes` drives every dataset
 /// in `specs`, one (scenario, dataset) pair after another (each gets the
 /// configured thread count to itself), then any [`ExtraScenarios`] —
@@ -860,7 +1089,8 @@ pub fn run(
         name: "default".into(),
         write_frac: cfg.write_frac,
     }];
-    let mixes = if mixes.is_empty() && !(extras.recovery || extras.skew || extras.tenants > 0) {
+    let any_extra = extras.recovery || extras.skew || extras.tenants > 0 || extras.overload;
+    let mixes = if mixes.is_empty() && !any_extra {
         &default_mix
     } else {
         mixes
@@ -903,6 +1133,9 @@ pub fn run(
     }
     if extras.tenants > 0 {
         scenarios.push(run_multi_tenant_scenario(cfg, extras.tenants)?);
+    }
+    if extras.overload {
+        scenarios.push(run_overload_scenario(cfg)?);
     }
     Ok(Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -959,7 +1192,7 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
             .get("kind")
             .and_then(Json::as_str)
             .ok_or(format!("scenario {sc_name:?}: no kind"))?;
-        if !["mixed", "recovery", "skew", "multi-tenant"].contains(&kind) {
+        if !["mixed", "recovery", "skew", "multi-tenant", "overload"].contains(&kind) {
             return Err(format!("scenario {sc_name:?}: unknown kind {kind:?}"));
         }
         sc.get("write_frac")
@@ -1048,6 +1281,17 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
                     if tenants < 2.0 {
                         return Err(format!("dataset {name:?}: fewer than 2 tenants"));
                     }
+                }
+                "overload" => {
+                    if num("admitted")? <= 0.0 {
+                        return Err(format!("dataset {name:?}: overload admitted nothing"));
+                    }
+                    let rate = num("shed_rate")?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("dataset {name:?}: shed_rate {rate} out of [0,1]"));
+                    }
+                    num("saturation_qps")?;
+                    num("drain_ms")?;
                 }
                 _ => {}
             }

@@ -15,13 +15,22 @@
 //!                                               approx:EPS,DELTA — seeded (ε, δ) sampler)
 //! SCORE  <name> <v>...                          exact CB of named vertices
 //! COMMON <name> <u> <v>                         common neighbors
-//! UPDATE <name> (+u,v | -u,v)...                apply an edge-op batch
+//! UPDATE <name> [seq=<e>] (+u,v | -u,v)...      apply an edge-op batch; `seq` is an
+//!                                               idempotency token (the epoch the client
+//!                                               expects to advance from — retries of an
+//!                                               acked batch are re-acked, not reapplied)
 //! STATS  <name>                                 dataset counters
 //! LIST                                          catalog contents
 //! DROP   <name>                                 remove a dataset (retire + delete WAL)
 //! COMPACT <name>                                force a snapshot compaction now
 //! PING                                          liveness probe
 //! ```
+//!
+//! Any command line may carry a `DEADLINE <ms>` prefix, e.g.
+//! `DEADLINE 250 TOPK g 8`: the server abandons the request (with
+//! `ERR deadline`) once that many milliseconds have elapsed since
+//! dequeue — enforced both before execution starts and cooperatively at
+//! the engines' compute checkpoints.
 
 use crate::catalog::Mode;
 use egobtw_dynamic::EdgeOp;
@@ -32,6 +41,13 @@ use std::io::{self, BufRead, Write};
 /// before any allocation happens (a garbage prefix must not OOM the
 /// server).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Upper bound on ops in one `UPDATE` batch, enforced at parse time with
+/// a clear `ERR` (mirroring [`MAX_FRAME`]): one batch is one WAL record
+/// and one epoch publish under the writer lock, so an unbounded batch
+/// would let a single client monopolize a shard writer and balloon WAL
+/// records far past [`crate::wal::Wal`]'s record cap.
+pub const MAX_UPDATE_OPS: usize = 4096;
 
 /// Writes one frame: decimal length, `\n`, payload. Assembled into one
 /// buffer and written with a single call, so a frame is one TCP segment
@@ -135,6 +151,9 @@ pub enum Command {
         name: String,
         /// The ops, in order.
         ops: Vec<EdgeOp>,
+        /// Idempotency token: the epoch the client expects to advance
+        /// from. `None` keeps the original at-least-once semantics.
+        seq: Option<u64>,
     },
     /// Dataset counters (size, epoch, cache hit rates, …).
     Stats {
@@ -230,11 +249,29 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "UPDATE" => {
             let name = it.next().ok_or("UPDATE needs a name")?.to_string();
+            let mut it = it.peekable();
+            let seq = match it.peek().and_then(|tok| tok.strip_prefix("seq=")) {
+                Some(v) => {
+                    let s = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad seq token {v:?}"))?;
+                    it.next();
+                    Some(s)
+                }
+                None => None,
+            };
             let ops: Vec<EdgeOp> = it.by_ref().map(parse_op).collect::<Result<_, _>>()?;
             if ops.is_empty() {
                 return Err("UPDATE needs at least one op".into());
             }
-            Command::Update { name, ops }
+            if ops.len() > MAX_UPDATE_OPS {
+                return Err(format!(
+                    "UPDATE batch of {} ops exceeds the {MAX_UPDATE_OPS}-op cap \
+                     (split it into smaller batches)",
+                    ops.len()
+                ));
+            }
+            return Ok(Command::Update { name, ops, seq });
         }
         "STATS" => Command::Stats {
             name: it.next().ok_or("STATS needs a name")?.to_string(),
@@ -255,6 +292,34 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         return Err(format!("trailing tokens after {verb}"));
     }
     Ok(cmd)
+}
+
+/// Strips an optional `DEADLINE <ms>` prefix from a command line.
+///
+/// Returns the millisecond budget (if present) and the command text that
+/// follows it. Lines without the prefix pass through untouched, so the
+/// prefix composes with every verb. A `DEADLINE` token with a malformed
+/// budget or no trailing command is an error — it must never be silently
+/// reinterpreted as a verb.
+pub fn split_deadline(line: &str) -> Result<(Option<u64>, &str), String> {
+    let trimmed = line.trim_start();
+    let rest = match trimmed.strip_prefix("DEADLINE") {
+        Some(r) if r.starts_with(char::is_whitespace) => r.trim_start(),
+        // A bare `DEADLINE` is the prefix with its operands missing.
+        Some("") => return Err("DEADLINE needs a millisecond budget followed by a command".into()),
+        // `DEADLINEX …` is not the prefix; let parse_command reject it.
+        _ => return Ok((None, line)),
+    };
+    let (ms_tok, cmd) = rest
+        .split_once(char::is_whitespace)
+        .ok_or("DEADLINE needs a millisecond budget followed by a command")?;
+    let ms = ms_tok
+        .parse::<u64>()
+        .map_err(|_| format!("bad DEADLINE budget {ms_tok:?}"))?;
+    if cmd.trim().is_empty() {
+        return Err("DEADLINE needs a command after the budget".into());
+    }
+    Ok((Some(ms), cmd))
 }
 
 /// Renders score entries as the wire form `v:score,v:score,…`. Scores use
@@ -399,7 +464,16 @@ mod tests {
             parse_command("UPDATE g +1,2 -0,4").unwrap(),
             Command::Update {
                 name: "g".into(),
-                ops: vec![EdgeOp::Insert(1, 2), EdgeOp::Delete(0, 4)]
+                ops: vec![EdgeOp::Insert(1, 2), EdgeOp::Delete(0, 4)],
+                seq: None,
+            }
+        );
+        assert_eq!(
+            parse_command("UPDATE g seq=17 +1,2").unwrap(),
+            Command::Update {
+                name: "g".into(),
+                ops: vec![EdgeOp::Insert(1, 2)],
+                seq: Some(17),
             }
         );
         assert_eq!(parse_command("LIST").unwrap(), Command::List);
@@ -434,6 +508,9 @@ mod tests {
             "UPDATE g 1,2",
             "UPDATE g +1;2",
             "UPDATE g +1,x",
+            "UPDATE g seq=17",
+            "UPDATE g seq=banana +1,2",
+            "UPDATE g +1,2 seq=17",
             "LOAD g",
             "LOAD g p weird-mode",
             "LIST extra",
@@ -443,6 +520,49 @@ mod tests {
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn update_batch_cap_boundary() {
+        let line = |n: usize| {
+            let mut s = String::from("UPDATE g");
+            for i in 0..n {
+                s.push_str(&format!(" +{i},{}", i + 1));
+            }
+            s
+        };
+        match parse_command(&line(MAX_UPDATE_OPS)).unwrap() {
+            Command::Update { ops, .. } => assert_eq!(ops.len(), MAX_UPDATE_OPS),
+            other => panic!("{other:?}"),
+        }
+        let err = parse_command(&line(MAX_UPDATE_OPS + 1)).unwrap_err();
+        assert!(err.contains("4096-op cap"), "{err}");
+    }
+
+    #[test]
+    fn deadline_prefix_splits_and_rejects() {
+        assert_eq!(
+            split_deadline("DEADLINE 250 TOPK g 8").unwrap(),
+            (Some(250), "TOPK g 8")
+        );
+        assert_eq!(split_deadline("TOPK g 8").unwrap(), (None, "TOPK g 8"));
+        // Not the prefix: parse_command gets to reject the unknown verb.
+        assert_eq!(
+            split_deadline("DEADLINES 1 PING").unwrap(),
+            (None, "DEADLINES 1 PING")
+        );
+        for bad in [
+            "DEADLINE",
+            "DEADLINE 250",
+            "DEADLINE soon PING",
+            "DEADLINE 250  ",
+        ] {
+            assert!(split_deadline(bad).is_err(), "{bad:?}");
+        }
+        // The split output feeds straight into parse_command.
+        let (ms, rest) = split_deadline("DEADLINE 10 PING").unwrap();
+        assert_eq!(ms, Some(10));
+        assert_eq!(parse_command(rest).unwrap(), Command::Ping);
     }
 
     #[test]

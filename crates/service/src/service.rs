@@ -23,16 +23,17 @@
 use crate::catalog::{
     CacheKey, Catalog, CatalogConfig, Claim, EpochSnapshot, Mode, RecoveryReport,
 };
-use crate::proto::{format_entries, parse_command, Command};
+use crate::proto::{format_entries, parse_command, split_deadline, Command};
 use egobtw_core::naive::ego_betweenness_of;
-use egobtw_core::opt_search::{opt_bsearch, OptParams};
+use egobtw_core::opt_search::{opt_bsearch_cancellable, OptParams};
 use egobtw_core::registry::{builtin_engines, RegisteredEngine};
-use egobtw_core::{approx_topk, ApproxParams};
+use egobtw_core::{approx_topk_cancellable, ApproxParams, Cancel, Cancelled};
 use egobtw_graph::io::{read_edge_list_file, read_snapshot_file, IoError, SNAPSHOT_MAGIC};
 use egobtw_graph::{CsrGraph, VertexId};
 use std::io::Read;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Where a `TOPK auto` answer came from (reported on the wire so clients,
 /// tests, and the loadgen can assert cache/maintained behavior).
@@ -155,6 +156,14 @@ pub enum Reply {
         /// Cumulative adaptive rounds before the approx stopping rule
         /// fired, across `approx:` engine runs.
         approx_rounds: u64,
+        /// Service-wide: requests shed with `ERR busy`.
+        shed: u64,
+        /// Service-wide: requests that blew their deadline.
+        timeouts: u64,
+        /// Service-wide: requests cancelled by client disconnect.
+        cancelled: u64,
+        /// Service-wide: engine computations in flight right now.
+        inflight: u64,
     },
     /// LIST answer.
     List(
@@ -245,12 +254,17 @@ impl Reply {
                 wal_records,
                 approx_samples,
                 approx_rounds,
+                shed,
+                timeouts,
+                cancelled,
+                inflight,
             } => format!(
                 "OK stats name={name} epoch={epoch} n={n} m={m} mode={} maintained={} \
                  stale_members={stale_members} ops_applied={ops_applied} \
                  cache_hits={cache_hits} cache_misses={cache_misses} coalesced={coalesced} \
                  shard={shard} persisted={persisted} wal_records={wal_records} \
-                 approx_samples={approx_samples} approx_rounds={approx_rounds}",
+                 approx_samples={approx_samples} approx_rounds={approx_rounds} \
+                 shed={shed} timeouts={timeouts} cancelled={cancelled} inflight={inflight}",
                 mode.render(),
                 maintained.map_or_else(|| "none".into(), |l| l.to_string()),
             ),
@@ -307,10 +321,43 @@ pub fn read_graph_file(path: &str) -> Result<CsrGraph, String> {
     read_graph_file_sniffed(path).map(|(g, _)| g)
 }
 
+/// Suggested client back-off carried in a load-shed `ERR busy` reply.
+pub const SHED_RETRY_MS: u64 = 50;
+
+/// Overload counters and the compute watermark, shared service-wide.
+///
+/// The counters appear in every `STATS` reply so operators (and the
+/// conformance chaos driver) can see shedding and deadline pressure
+/// without a separate metrics endpoint.
+#[derive(Debug, Default)]
+pub struct OverloadState {
+    /// Requests refused with `ERR busy` at the compute watermark.
+    pub shed: AtomicU64,
+    /// Requests abandoned because their deadline expired.
+    pub timeouts: AtomicU64,
+    /// Requests abandoned because the client vanished (explicit cancel).
+    pub cancelled: AtomicU64,
+    /// Engine computations running right now (gauge, not a counter).
+    pub inflight: AtomicU64,
+    /// Max concurrent engine computations before shedding (0 = no limit).
+    pub compute_watermark: AtomicU64,
+}
+
+/// Decrements the in-flight gauge even if the engine panics.
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The shared, internally synchronized query service.
 pub struct Service {
     catalog: Catalog,
     engines: Vec<RegisteredEngine>,
+    overload: OverloadState,
+    default_deadline: Option<Duration>,
 }
 
 impl Default for Service {
@@ -332,6 +379,43 @@ impl Service {
         Service {
             catalog: Catalog::with_config(cfg),
             engines: builtin_engines(),
+            overload: OverloadState::default(),
+            default_deadline: None,
+        }
+    }
+
+    /// Sets the deadline applied to every command line that carries no
+    /// explicit `DEADLINE` prefix (`None` = unlimited). Call before
+    /// sharing the service.
+    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) {
+        self.default_deadline = deadline;
+    }
+
+    /// Sets the compute watermark: once this many engine computations are
+    /// in flight, further cache-missing `TOPK` requests are shed with
+    /// `ERR busy retry_after_ms=…` instead of queuing on the CPU
+    /// (0 = no limit). Call before sharing the service.
+    pub fn set_compute_watermark(&mut self, watermark: u64) {
+        self.overload
+            .compute_watermark
+            .store(watermark, Ordering::Relaxed);
+    }
+
+    /// The service-wide overload counters.
+    pub fn overload(&self) -> &OverloadState {
+        &self.overload
+    }
+
+    /// Translates an engine-level [`Cancelled`] into the wire error,
+    /// bumping the matching counter: an explicit flag means the client is
+    /// gone, otherwise the request's deadline expired.
+    fn cancelled_err(&self, cancel: &Cancel) -> String {
+        if cancel.is_flagged() {
+            self.overload.cancelled.fetch_add(1, Ordering::Relaxed);
+            "cancelled (client gone)".into()
+        } else {
+            self.overload.timeouts.fetch_add(1, Ordering::Relaxed);
+            "deadline exceeded".into()
         }
     }
 
@@ -382,6 +466,7 @@ impl Service {
         snap: &Arc<EpochSnapshot>,
         engine_name: &str,
         k: usize,
+        cancel: &Cancel,
     ) -> Result<(crate::catalog::SharedEntries, TopkSource), String> {
         // Resolve the engine before claiming a cache slot, so an unknown
         // name (or a malformed approx spec) can never leave a pending
@@ -417,19 +502,42 @@ impl Service {
             }
             Claim::Compute(ticket) => {
                 ds.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let entries: Vec<(VertexId, f64)> = match (engine, &approx) {
-                    (None, Some(params)) => {
-                        let result = approx_topk(&snap.graph, k, params);
-                        ds.approx_samples
-                            .fetch_add(result.samples_drawn, Ordering::Relaxed);
-                        ds.approx_rounds
-                            .fetch_add(u64::from(result.rounds), Ordering::Relaxed);
-                        result.topk_entries()
-                    }
-                    (None, None) => opt_bsearch(&snap.graph, k, OptParams { theta: 1.05 }).entries,
-                    (Some(engine), _) => engine.topk(&snap.graph, k),
+                // Load shedding at the compute watermark: refusing here —
+                // after the cache/coalesce fast paths, before the engine —
+                // sheds exactly the requests that would pile CPU work onto
+                // an already saturated box. Dropping `ticket` fails any
+                // coalesced waiters with an error, which is right: they
+                // were waiting on work that is not going to happen.
+                let watermark = self.overload.compute_watermark.load(Ordering::Relaxed);
+                let running = self.overload.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+                let _guard = InflightGuard(&self.overload.inflight);
+                if watermark > 0 && running > watermark {
+                    self.overload.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("busy retry_after_ms={SHED_RETRY_MS}"));
+                }
+                let run = || -> Result<Vec<(VertexId, f64)>, Cancelled> {
+                    Ok(match (engine, &approx) {
+                        (None, Some(params)) => {
+                            let result = approx_topk_cancellable(&snap.graph, k, params, cancel)?;
+                            ds.approx_samples
+                                .fetch_add(result.samples_drawn, Ordering::Relaxed);
+                            ds.approx_rounds
+                                .fetch_add(u64::from(result.rounds), Ordering::Relaxed);
+                            result.topk_entries()
+                        }
+                        (None, None) => {
+                            opt_bsearch_cancellable(
+                                &snap.graph,
+                                k,
+                                OptParams { theta: 1.05 },
+                                cancel,
+                            )?
+                            .entries
+                        }
+                        (Some(engine), _) => engine.topk_cancellable(&snap.graph, k, cancel)?,
+                    })
                 };
-                let entries = Arc::new(entries);
+                let entries = Arc::new(run().map_err(|Cancelled| self.cancelled_err(cancel))?);
                 ticket.fulfill(entries.clone());
                 let label = if engine_name == "auto" {
                     "core::opt_search(θ=1.05)".to_string()
@@ -441,7 +549,7 @@ impl Service {
         }
     }
 
-    fn topk(&self, name: &str, k: usize, engine: &str) -> Result<Reply, String> {
+    fn topk(&self, name: &str, k: usize, engine: &str, cancel: &Cancel) -> Result<Reply, String> {
         let ds = self.catalog.get(name)?;
         let snap = ds.snapshot();
         let n = snap.graph.n();
@@ -459,14 +567,14 @@ impl Service {
                     Some(full) => (Arc::new(full[..want].to_vec()), TopkSource::Refreshed),
                     // Writer already moved on; answer for *our* snapshot
                     // via the engine path so the epoch stays truthful.
-                    None => self.run_engine_cached(&ds, &snap, "auto", k)?,
+                    None => self.run_engine_cached(&ds, &snap, "auto", k, cancel)?,
                 }
             } else {
                 // 3./4. Cache, then the default engine.
-                self.run_engine_cached(&ds, &snap, "auto", k)?
+                self.run_engine_cached(&ds, &snap, "auto", k, cancel)?
             }
         } else {
-            self.run_engine_cached(&ds, &snap, engine, k)?
+            self.run_engine_cached(&ds, &snap, engine, k, cancel)?
         };
         debug_assert_eq!(entries.len(), want);
         Ok(Reply::Topk {
@@ -478,7 +586,7 @@ impl Service {
         })
     }
 
-    fn score(&self, name: &str, vertices: &[VertexId]) -> Result<Reply, String> {
+    fn score(&self, name: &str, vertices: &[VertexId], cancel: &Cancel) -> Result<Reply, String> {
         let ds = self.catalog.get(name)?;
         let snap = ds.snapshot();
         let n = snap.graph.n();
@@ -488,6 +596,11 @@ impl Service {
             if (v as usize) >= n {
                 return Err(format!("vertex {v} out of range (n={n})"));
             }
+            // One ego is the unit of work here; poll between egos so a
+            // long SCORE list honors its deadline too.
+            cancel
+                .check()
+                .map_err(|Cancelled| self.cancelled_err(cancel))?;
             let key = CacheKey::Score(v);
             let score = if let Some(hit) = snap.cache_get(&key) {
                 ds.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -547,20 +660,33 @@ impl Service {
             wal_records: ds.wal_records(),
             approx_samples: ds.approx_samples.load(Ordering::Relaxed),
             approx_rounds: ds.approx_rounds.load(Ordering::Relaxed),
+            shed: self.overload.shed.load(Ordering::Relaxed),
+            timeouts: self.overload.timeouts.load(Ordering::Relaxed),
+            cancelled: self.overload.cancelled.load(Ordering::Relaxed),
+            inflight: self.overload.inflight.load(Ordering::Relaxed),
         })
     }
 
-    /// Executes one parsed command.
+    /// Executes one parsed command without a cancellation context.
     pub fn execute(&self, cmd: &Command) -> Result<Reply, String> {
+        self.execute_with(cmd, &Cancel::never())
+    }
+
+    /// Executes one parsed command under a cancellation token: compute
+    /// paths (`TOPK`, `SCORE`) poll it and return `deadline exceeded` /
+    /// `cancelled` errors; `UPDATE` runs to completion regardless — a
+    /// batch is acked or not, never half-cancelled (retries stay safe via
+    /// the `seq` idempotency token).
+    pub fn execute_with(&self, cmd: &Command, cancel: &Cancel) -> Result<Reply, String> {
         match cmd {
             Command::Load { name, path, mode } => self.load_path(name, path, *mode),
-            Command::Topk { name, k, engine } => self.topk(name, *k, engine),
-            Command::Score { name, vertices } => self.score(name, vertices),
+            Command::Topk { name, k, engine } => self.topk(name, *k, engine, cancel),
+            Command::Score { name, vertices } => self.score(name, vertices, cancel),
             Command::Common { name, u, v } => self.common(name, *u, *v),
-            Command::Update { name, ops } => {
+            Command::Update { name, ops, seq } => {
                 // Routed through the dataset's shard writer pool: a storm
                 // on one shard never blocks other shards' writers.
-                let out = self.catalog.apply_updates(name, ops.clone())?;
+                let out = self.catalog.apply_updates_seq(name, ops.clone(), *seq)?;
                 Ok(Reply::Update(name.clone(), out))
             }
             Command::Stats { name } => self.stats(name),
@@ -584,7 +710,29 @@ impl Service {
     /// Parses and executes one line, rendering the response line (`ERR …`
     /// on parse or execution failure — the connection stays usable).
     pub fn handle_line(&self, line: &str) -> String {
-        match parse_command(line).and_then(|cmd| self.execute(&cmd)) {
+        self.handle_line_with(line, &Cancel::never())
+    }
+
+    /// [`Service::handle_line`] under a request-scoped cancellation token
+    /// (typically connection-scoped, fired by the server when the client
+    /// disconnects). A `DEADLINE <ms>` prefix — or, absent one, the
+    /// service's default deadline — derives a tighter per-line token, and
+    /// an already expired token is refused before any work starts.
+    pub fn handle_line_with(&self, line: &str, cancel: &Cancel) -> String {
+        let result = split_deadline(line).and_then(|(ms, rest)| {
+            let budget = ms.map(Duration::from_millis).or(self.default_deadline);
+            let cancel = match budget {
+                Some(d) => cancel.with_deadline(Instant::now() + d),
+                None => cancel.clone(),
+            };
+            // Deadline-at-dequeue: a request that expired waiting in the
+            // server queue is answered (with ERR), never computed.
+            cancel
+                .check()
+                .map_err(|Cancelled| self.cancelled_err(&cancel))?;
+            parse_command(rest).and_then(|cmd| self.execute_with(&cmd, &cancel))
+        });
+        match result {
             Ok(reply) => reply.render(),
             Err(e) => format!("ERR {e}"),
         }
@@ -592,9 +740,14 @@ impl Service {
 
     /// Handles one request payload: one response line per command line.
     pub fn handle_payload(&self, payload: &str) -> String {
+        self.handle_payload_with(payload, &Cancel::never())
+    }
+
+    /// [`Service::handle_payload`] under a request-scoped token.
+    pub fn handle_payload_with(&self, payload: &str, cancel: &Cancel) -> String {
         let mut out = String::new();
         for line in payload.lines().filter(|l| !l.trim().is_empty()) {
-            out.push_str(&self.handle_line(line));
+            out.push_str(&self.handle_line_with(line, cancel));
             out.push('\n');
         }
         if out.is_empty() {

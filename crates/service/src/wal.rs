@@ -296,6 +296,14 @@ impl Wal {
         Ok(())
     }
 
+    /// Forces every appended byte to stable storage, regardless of the
+    /// fsync policy — the graceful-drain path's durability barrier, so a
+    /// clean exit under [`FsyncPolicy::Never`] still leaves every acked
+    /// record recoverable.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
     /// Empties the WAL (after a snapshot made its records redundant).
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;

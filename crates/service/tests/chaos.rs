@@ -1,0 +1,189 @@
+//! End-to-end chaos and drain conformance against the real daemon.
+//!
+//! Two claims under test, both over a real `egobtw-serve` process:
+//!
+//! 1. **Chaos + crash**: drive the oracle-checked chaos workload through
+//!    the seeded fault proxy (delay, stall, mid-frame cut, corruption,
+//!    reset), then SIGKILL the daemon and restart it over the same data
+//!    dir — zero protocol violations during the run, zero acked-write
+//!    loss after recovery.
+//! 2. **SIGTERM drain**: while an aggressively-deadlined exact TOPK is
+//!    in flight, SIGTERM the daemon — it must exit 0 with the WAL
+//!    flushed, and a restart must recover every acked epoch.
+
+use conformance::{run_chaos_workload, verify_recovered, ChaosProxy};
+use egobtw_service::server::{connect_with_retry, roundtrip};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const NAME: &str = "chaosbox";
+
+/// Fresh unique temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "egobtw-chaos-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The daemon under test; killed on drop so a failing assertion never
+/// leaks a process.
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// Keeps the stdout pipe readable for the daemon's drain prints.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `egobtw-serve` on an OS-picked port and waits for its
+/// `listening on` line. The dataset loads from `snap` on first boot and
+/// recovers from `data_dir` on later ones.
+fn spawn_daemon(data_dir: &Path, snap: Option<&Path>, extra: &[&str]) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_egobtw-serve"));
+    cmd.args(["--listen", "127.0.0.1:0", "--threads", "2"]);
+    cmd.args(["--data-dir", data_dir.to_str().unwrap()]);
+    if let Some(snap) = snap {
+        cmd.args(["--load", &format!("{NAME}={}", snap.to_str().unwrap())]);
+    }
+    cmd.args(extra);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn egobtw-serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while {
+        line.clear();
+        stdout.read_line(&mut line).expect("daemon stdout") > 0
+    } {
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(rest.split_whitespace().next().unwrap().to_string());
+            break;
+        }
+    }
+    Daemon {
+        child,
+        addr: addr.expect("daemon never printed its address"),
+        _stdout: stdout,
+    }
+}
+
+/// Claim 1: the committed chaos schedule, SIGKILL, restart — no
+/// violations, no acked-write loss.
+#[test]
+fn chaos_schedule_survives_sigkill_with_zero_acked_write_loss() {
+    let seed = 0xC4A05u64;
+    let g0 = egobtw_gen::gnp(40, 0.14, seed);
+    let dir = TempDir::new("kill");
+    let data_dir = dir.path().join("data");
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let snap = dir.path().join("g0.snap");
+    egobtw_graph::io::write_snapshot_file(&g0, None, &snap).unwrap();
+
+    let mut daemon = spawn_daemon(&data_dir, Some(&snap), &[]);
+    let mut proxy = ChaosProxy::spawn(&daemon.addr, seed).unwrap();
+    let report = run_chaos_workload(&proxy.addr(), NAME, &g0, seed, 18, 3)
+        .expect("chaos workload must complete");
+    proxy.stop();
+    assert!(
+        report.violations.is_empty(),
+        "oracle violations under chaos: {:#?}",
+        report.violations
+    );
+    assert!(report.acked_epoch >= 18, "every batch must eventually ack");
+
+    // SIGKILL — no drain, no goodbye — then recover over the same dir.
+    let _ = daemon.child.kill();
+    let _ = daemon.child.wait();
+    let daemon2 = spawn_daemon(&data_dir, None, &[]);
+    verify_recovered(&daemon2.addr, NAME, &g0, &report)
+        .unwrap_or_else(|e| panic!("post-SIGKILL recovery: {e}"));
+}
+
+/// Claim 2: SIGTERM with a deadline-expired exact TOPK in flight →
+/// clean drain, exit 0, WAL flushed (restart recovers the acked epoch).
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_flushes_wal_and_exits_zero() {
+    let seed = 0xD4A19u64;
+    // Big enough that an exact TOPK outlives a 1 ms budget, so the drain
+    // overlaps a deadline-expired computation.
+    let g0 = egobtw_gen::gnp(220, 0.1, seed);
+    let dir = TempDir::new("drain");
+    let data_dir = dir.path().join("data");
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let snap = dir.path().join("g0.snap");
+    egobtw_graph::io::write_snapshot_file(&g0, None, &snap).unwrap();
+
+    let mut daemon = spawn_daemon(&data_dir, Some(&snap), &["--drain-grace", "3000"]);
+    let (mut reader, mut writer) =
+        connect_with_retry(&daemon.addr, Duration::from_secs(10)).unwrap();
+
+    // Two acked, seq-tokened writes the WAL must not lose.
+    for epoch in 0..2u64 {
+        let reply = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!("UPDATE {NAME} seq={epoch} +1,2 +3,4"),
+        )
+        .unwrap();
+        assert!(reply.starts_with("OK update"), "{reply}");
+    }
+
+    // Put a deadline-expired exact TOPK in flight, then SIGTERM while
+    // the worker is on it.
+    egobtw_service::write_frame(
+        &mut writer,
+        &format!("DEADLINE 1 TOPK {NAME} 8 core::compute_all"),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    let exit = daemon.child.wait().expect("wait for drained daemon");
+    assert!(
+        exit.success(),
+        "SIGTERM drain must exit 0, got {exit:?} — drain path paniced or hung"
+    );
+
+    // The WAL was flushed on the way out: a restart recovers both epochs.
+    let daemon2 = spawn_daemon(&data_dir, None, &[]);
+    let (mut r2, mut w2) = connect_with_retry(&daemon2.addr, Duration::from_secs(10)).unwrap();
+    let stats = roundtrip(&mut r2, &mut w2, &format!("STATS {NAME}")).unwrap();
+    assert!(
+        stats.starts_with("OK stats") && stats.contains(" epoch=2 "),
+        "acked epochs must survive the drain: {stats}"
+    );
+}
