@@ -215,13 +215,27 @@ fn run_chaos(args: &Args) -> i32 {
                 conformance::ChaosProxy::spawn(&addr, seed).map_err(|e| format!("proxy: {e}"))?;
             let report = conformance::run_chaos_workload(&proxy.addr(), "chaos", &g0, seed, 24, 3);
             proxy.stop();
+            // Outcome accounting must balance on the battered daemon —
+            // scraped directly (not through the dead proxy), after a
+            // short quiesce so watchdog-cancelled stragglers from cut
+            // connections have reached their outcome bucket.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let accounting = conformance::verify_outcome_accounting(&addr);
             // Crash hard (SIGKILL — no drain, no fsync beyond what acks
             // already guaranteed), then restart over the same data dir.
             let _ = child.kill();
             let _ = child.wait();
             let report = report?;
+            accounting.map_err(|e| format!("pre-crash {e}"))?;
             let (mut child2, addr2) = spawn_serve(&bin, &data_dir, None)?;
-            let verdict = conformance::verify_recovered(&addr2, "chaos", &g0, &report);
+            let verdict =
+                conformance::verify_recovered(&addr2, "chaos", &g0, &report).and_then(|()| {
+                    // Counters restart from zero; the invariant must hold
+                    // on the recovered process too.
+                    conformance::verify_outcome_accounting(&addr2)
+                        .map(|_| ())
+                        .map_err(|e| format!("post-restart {e}"))
+                });
             let _ = child2.kill();
             let _ = child2.wait();
             verdict.map(|()| report)

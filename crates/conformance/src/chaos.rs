@@ -669,6 +669,73 @@ pub fn verify_recovered(
         .map_err(|why| format!("recovered top-k: {why}"))
 }
 
+/// One scrape's view of the request-outcome accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomeAccounting {
+    /// `egobtw_requests_admitted_total`.
+    pub admitted: u64,
+    /// `egobtw_requests_completed_total`.
+    pub completed: u64,
+    /// `egobtw_requests_cancelled_total`.
+    pub cancelled: u64,
+    /// `egobtw_requests_failed_total`.
+    pub failed: u64,
+}
+
+impl OutcomeAccounting {
+    /// `admitted - (completed + cancelled + failed)` — zero when every
+    /// admitted command line landed in exactly one outcome bucket.
+    pub fn drift(&self) -> i64 {
+        self.admitted as i64 - (self.completed + self.cancelled + self.failed) as i64
+    }
+}
+
+/// Scrapes `METRICS` **directly** from the daemon at `addr` (never
+/// through the chaos proxy — a faulted scrape would prove nothing),
+/// schema-validates the exposition, and checks the outcome-accounting
+/// invariant `admitted == completed + cancelled + failed`. The daemon
+/// must be quiescent when this runs: an in-flight request sits between
+/// `admitted` and its outcome bump, which is drift by construction.
+pub fn verify_outcome_accounting(addr: &str) -> Result<OutcomeAccounting, String> {
+    let mut conn: Option<TcpStream> = None;
+    let mut scratch = 0u64;
+    let text = rpc(&mut conn, addr, "METRICS", &mut scratch)?;
+    let expo = egobtw_telemetry::prometheus::parse(&text)
+        .map_err(|e| format!("METRICS exposition: {e}"))?;
+    let violations = expo.validate(&[
+        "egobtw_requests_admitted_total",
+        "egobtw_requests_completed_total",
+        "egobtw_requests_cancelled_total",
+        "egobtw_requests_failed_total",
+    ]);
+    if !violations.is_empty() {
+        return Err(format!("METRICS schema: {violations:?}"));
+    }
+    let counter = |name: &str| -> Result<u64, String> {
+        expo.value(name, &[])?
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("{name} missing"))
+    };
+    let acc = OutcomeAccounting {
+        admitted: counter("egobtw_requests_admitted_total")?,
+        completed: counter("egobtw_requests_completed_total")?,
+        cancelled: counter("egobtw_requests_cancelled_total")?,
+        failed: counter("egobtw_requests_failed_total")?,
+    };
+    if acc.drift() != 0 {
+        return Err(format!(
+            "outcome accounting drifted: admitted={} != completed={} + cancelled={} + failed={} \
+             (drift {})",
+            acc.admitted,
+            acc.completed,
+            acc.cancelled,
+            acc.failed,
+            acc.drift()
+        ));
+    }
+    Ok(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

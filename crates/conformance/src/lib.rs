@@ -43,7 +43,8 @@ pub mod shrink;
 
 pub use case::Case;
 pub use chaos::{
-    run_chaos_workload, verify_recovered, ChaosProxy, ChaosReport, FaultKind, FaultPlan,
+    run_chaos_workload, verify_outcome_accounting, verify_recovered, ChaosProxy, ChaosReport,
+    FaultKind, FaultPlan, OutcomeAccounting,
 };
 pub use compare::{approx_eq, check_topk, check_topk_statistical, REL_TOL};
 pub use harness::{assert_case, check_case, check_case_with, Mismatch};

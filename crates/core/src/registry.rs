@@ -27,12 +27,30 @@ use crate::cancel::{Cancel, Cancelled};
 use crate::compute_all::compute_all_cancellable;
 use crate::naive::compute_all_naive_cancellable;
 use crate::opt_search::{opt_bsearch_cancellable, OptParams};
+use crate::stats::SearchStats;
+use crate::topk::TopkResult;
 use egobtw_graph::{CsrGraph, HybridConfig, Relabeling, VertexId};
 
 /// Uniform engine signature: graph in, ranked `(vertex, CB)` entries out —
 /// unless the token cancels the run first.
 pub type EngineFn =
     Box<dyn Fn(&CsrGraph, usize, &Cancel) -> Result<Vec<(VertexId, f64)>, Cancelled> + Send + Sync>;
+
+/// Engine signature that also reports work counters: entries plus the
+/// run's [`crate::SearchStats`], bundled as a [`TopkResult`]. Engines
+/// registered through this shape surface the paper's Table II metric
+/// (exact computations) to callers that want it — the serving layer's
+/// telemetry — while [`RegisteredEngine::topk_cancellable`] keeps
+/// returning bare entries for harnesses that don't.
+pub type StatsEngineFn =
+    Box<dyn Fn(&CsrGraph, usize, &Cancel) -> Result<TopkResult, Cancelled> + Send + Sync>;
+
+enum EngineImpl {
+    /// Entries only; work counters default to zero.
+    Plain(EngineFn),
+    /// Entries plus honest work counters.
+    WithStats(StatsEngineFn),
+}
 
 /// What an engine promises about its output — the conformance layer picks
 /// its comparator from this tag.
@@ -54,7 +72,7 @@ pub enum EngineKind {
 pub struct RegisteredEngine {
     name: String,
     kind: EngineKind,
-    run: EngineFn,
+    run: EngineImpl,
 }
 
 impl RegisteredEngine {
@@ -63,7 +81,7 @@ impl RegisteredEngine {
         RegisteredEngine {
             name: name.into(),
             kind: EngineKind::Exact,
-            run,
+            run: EngineImpl::Plain(run),
         }
     }
 
@@ -72,7 +90,17 @@ impl RegisteredEngine {
         RegisteredEngine {
             name: name.into(),
             kind,
-            run,
+            run: EngineImpl::Plain(run),
+        }
+    }
+
+    /// Wraps a stats-reporting closure under a stable engine name (an
+    /// exact engine that also surfaces its work counters).
+    pub fn new_with_stats(name: impl Into<String>, run: StatsEngineFn) -> Self {
+        RegisteredEngine {
+            name: name.into(),
+            kind: EngineKind::Exact,
+            run: EngineImpl::WithStats(run),
         }
     }
 
@@ -89,7 +117,7 @@ impl RegisteredEngine {
     /// Runs the engine: top-`k` entries sorted by descending `CB`
     /// (ascending vertex id among exact float ties).
     pub fn topk(&self, g: &CsrGraph, k: usize) -> Vec<(VertexId, f64)> {
-        (self.run)(g, k, &Cancel::never())
+        self.topk_cancellable(g, k, &Cancel::never())
             .expect("a never-cancelled engine run cannot be cancelled")
     }
 
@@ -102,7 +130,28 @@ impl RegisteredEngine {
         k: usize,
         cancel: &Cancel,
     ) -> Result<Vec<(VertexId, f64)>, Cancelled> {
-        (self.run)(g, k, cancel)
+        match &self.run {
+            EngineImpl::Plain(run) => run(g, k, cancel),
+            EngineImpl::WithStats(run) => Ok(run(g, k, cancel)?.entries),
+        }
+    }
+
+    /// [`RegisteredEngine::topk_cancellable`] keeping the work counters:
+    /// engines registered with [`RegisteredEngine::new_with_stats`]
+    /// report their real [`SearchStats`]; plain engines report zeros.
+    pub fn topk_with_stats_cancellable(
+        &self,
+        g: &CsrGraph,
+        k: usize,
+        cancel: &Cancel,
+    ) -> Result<TopkResult, Cancelled> {
+        match &self.run {
+            EngineImpl::Plain(run) => Ok(TopkResult {
+                entries: run(g, k, cancel)?,
+                stats: SearchStats::default(),
+            }),
+            EngineImpl::WithStats(run) => run(g, k, cancel),
+        }
     }
 }
 
@@ -159,40 +208,45 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
                 ))
             }) as EngineFn,
         ),
-        RegisteredEngine::new(
+        RegisteredEngine::new_with_stats(
             "core::compute_all",
             Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
-                Ok(topk_from_scores(&compute_all_cancellable(g, cancel)?.0, k))
-            }) as EngineFn,
+                let (scores, stats) = compute_all_cancellable(g, cancel)?;
+                Ok(TopkResult {
+                    entries: topk_from_scores(&scores, k),
+                    stats,
+                })
+            }) as StatsEngineFn,
         ),
-        RegisteredEngine::new(
+        RegisteredEngine::new_with_stats(
             "core::base_search",
             // BaseBSearch's frozen-bound sweep has no natural mid-run
             // checkpoint; it honors cancellation at entry only.
             Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
                 cancel.check()?;
-                Ok(base_bsearch(g, k).entries)
-            }) as EngineFn,
+                Ok(base_bsearch(g, k))
+            }) as StatsEngineFn,
         ),
     ];
     for theta in [1.0, 1.05, 2.0] {
-        engines.push(RegisteredEngine::new(
+        engines.push(RegisteredEngine::new_with_stats(
             format!("core::opt_search(θ={theta:.2})"),
             Box::new(move |g: &CsrGraph, k, cancel: &Cancel| {
-                Ok(opt_bsearch_cancellable(g, k, OptParams { theta }, cancel)?.entries)
-            }) as EngineFn,
+                opt_bsearch_cancellable(g, k, OptParams { theta }, cancel)
+            }) as StatsEngineFn,
         ));
     }
-    engines.push(RegisteredEngine::new(
+    engines.push(RegisteredEngine::new_with_stats(
         "core::compute_all(degree-relabel)",
         Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
             let relab = Relabeling::degree_descending(g);
             let rg = relab.apply(g);
-            Ok(topk_from_scores(
-                &relab.restore_scores(&compute_all_cancellable(&rg, cancel)?.0),
-                k,
-            ))
-        }) as EngineFn,
+            let (scores, stats) = compute_all_cancellable(&rg, cancel)?;
+            Ok(TopkResult {
+                entries: topk_from_scores(&relab.restore_scores(&scores), k),
+                stats,
+            })
+        }) as StatsEngineFn,
     ));
     engines.push(RegisteredEngine::new(
         "core::compute_all(bitmap-dense)",
@@ -204,15 +258,17 @@ pub fn builtin_engines() -> Vec<RegisteredEngine> {
             ))
         }) as EngineFn,
     ));
-    engines.push(RegisteredEngine::new(
+    engines.push(RegisteredEngine::new_with_stats(
         "core::opt_search(θ=1.05, degree-relabel)",
         Box::new(|g: &CsrGraph, k, cancel: &Cancel| {
             let relab = Relabeling::degree_descending(g);
             let rg = relab.apply(g);
-            Ok(relab.restore_topk(
-                opt_bsearch_cancellable(&rg, k, OptParams { theta: 1.05 }, cancel)?.entries,
-            ))
-        }) as EngineFn,
+            let result = opt_bsearch_cancellable(&rg, k, OptParams { theta: 1.05 }, cancel)?;
+            Ok(TopkResult {
+                entries: relab.restore_topk(result.entries),
+                stats: result.stats,
+            })
+        }) as StatsEngineFn,
     ));
     for (tag, strategy) in [
         ("uniform", SamplingStrategy::Uniform),
@@ -279,6 +335,27 @@ mod tests {
                 "{} ignored a fired cancel token",
                 e.name()
             );
+        }
+    }
+
+    #[test]
+    fn stats_path_matches_plain_path_and_reports_work() {
+        let g = classic::karate_club();
+        for e in builtin_engines() {
+            let plain = e.topk_cancellable(&g, 5, &Cancel::never()).unwrap();
+            let with_stats = e
+                .topk_with_stats_cancellable(&g, 5, &Cancel::never())
+                .unwrap();
+            assert_eq!(plain, with_stats.entries, "{}", e.name());
+            // The search engines must report honest work counters; plain
+            // registrations legitimately report zeros.
+            if e.name().starts_with("core::opt_search") || e.name() == "core::base_search" {
+                assert!(
+                    with_stats.stats.exact_computations > 0,
+                    "{} reported no exact computations",
+                    e.name()
+                );
+            }
         }
     }
 

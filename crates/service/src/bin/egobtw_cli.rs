@@ -42,6 +42,14 @@
 //! egobtw-cli loadgen --validate PATH [--expect-datasets N] [--expect-scenarios N]
 //!     Schema-check an existing BENCH_service.json (CI smoke); also fails
 //!     on any recorded comparator violation.
+//!
+//! egobtw-cli metrics-check [--connect ADDR] [--requests N] [--seed S]
+//!     With --connect: scrape METRICS twice from a live daemon, schema-
+//!     validate both expositions, and verify every counter series is
+//!     monotone between the scrapes. Without: drive an in-process service
+//!     with N compute-dominated TOPKs (default 64) and verify the
+//!     server-side latency histogram puts p50/p99 within one log2 bucket
+//!     of the client-side timings.
 //! ```
 
 use egobtw_service::catalog::Mode;
@@ -302,13 +310,66 @@ fn run_loadgen(argv: &[String]) -> i32 {
     }
 }
 
+fn run_metrics_check(argv: &[String]) -> i32 {
+    let mut connect: Option<String> = None;
+    let mut requests = 64usize;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--connect" => connect = Some(value(i).clone()),
+            "--requests" => {
+                requests = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--requests: bad number {:?}", value(i))))
+            }
+            "--seed" => {
+                seed = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--seed: bad number {:?}", value(i))))
+            }
+            other => fail(&format!("metrics-check: unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    match connect {
+        Some(addr) => match loadgen::metrics_check_live(&addr) {
+            Ok(summary) => {
+                println!("{summary}");
+                0
+            }
+            Err(e) => {
+                eprintln!("egobtw-cli: metrics-check {addr}: {e}");
+                1
+            }
+        },
+        None => match loadgen::metrics_crosscheck(requests, seed) {
+            Ok(report) => {
+                println!("metrics-check OK: {}", report.pretty());
+                0
+            }
+            Err(e) => {
+                eprintln!("egobtw-cli: metrics-check: {e}");
+                1
+            }
+        },
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("script") => run_script(&argv[1..]),
         Some("loadgen") => run_loadgen(&argv[1..]),
+        Some("metrics-check") => run_metrics_check(&argv[1..]),
         _ => {
-            eprintln!("usage: egobtw-cli <script|loadgen> [flags] (see --bin source header)");
+            eprintln!(
+                "usage: egobtw-cli <script|loadgen|metrics-check> [flags] (see --bin source header)"
+            );
             2
         }
     };

@@ -25,6 +25,10 @@
 //!                        are shed with ERR busy (default 0 = unlimited)
 //!   --drain-grace MS     SIGTERM drain budget for in-flight requests
 //!                        (default 2000)
+//!   --slow-query-ms MS   record requests slower than MS in the SLOWLOG
+//!                        ring (default 0 = disabled)
+//!   --log-level LEVEL    stderr log verbosity: error|warn|info|debug
+//!                        (default info)
 //! ```
 //!
 //! Prints one `recovered <name> …` line per rebuilt dataset, then one
@@ -35,6 +39,7 @@
 
 use egobtw_service::catalog::Mode;
 use egobtw_service::{CatalogConfig, FsyncPolicy, PersistConfig, Server, ServerConfig, Service};
+use egobtw_telemetry::{set_global, Level, Logger, StderrSink};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,6 +91,8 @@ struct Args {
     io_timeout: u64,
     watermark: u64,
     drain_grace: u64,
+    slow_query_ms: u64,
+    log_level: Level,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -105,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         io_timeout: 30_000,
         watermark: 0,
         drain_grace: 2_000,
+        slow_query_ms: 0,
+        log_level: Level::Info,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -160,6 +169,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drain-grace: {e}"))?
             }
+            "--slow-query-ms" => {
+                args.slow_query_ms = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--slow-query-ms: {e}"))?
+            }
+            "--log-level" => {
+                let spec = value(i)?;
+                args.log_level = Level::parse(spec).ok_or_else(|| {
+                    format!("--log-level {spec:?}: expected error|warn|info|debug")
+                })?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -185,11 +205,14 @@ fn main() {
                 "usage: egobtw-serve [--listen ADDR] [--threads N] [--load NAME=PATH[:MODE]]... \
                  [--data-dir PATH] [--fsync always|never] [--compact-every N] [--shards N] \
                  [--shard-writers N] [--default-deadline MS] [--max-conns N] [--queue N] \
-                 [--io-timeout MS] [--watermark N] [--drain-grace MS]"
+                 [--io-timeout MS] [--watermark N] [--drain-grace MS] [--slow-query-ms MS] \
+                 [--log-level error|warn|info|debug]"
             );
             std::process::exit(2);
         }
     };
+    set_global(Arc::new(Logger::new(args.log_level, Arc::new(StderrSink))));
+    let log = egobtw_telemetry::global();
     let persist = args.data_dir.as_ref().map(|dir| PersistConfig {
         dir: dir.into(),
         fsync: args.fsync,
@@ -199,16 +222,21 @@ fn main() {
         shards: args.shards,
         writers_per_shard: args.shard_writers,
         persist,
+        ..CatalogConfig::default()
     });
     if args.default_deadline > 0 {
         service.set_default_deadline(Some(Duration::from_millis(args.default_deadline)));
     }
     service.set_compute_watermark(args.watermark);
+    service
+        .metrics()
+        .slowlog()
+        .set_threshold_ms(args.slow_query_ms);
     let service = Arc::new(service);
     let recovered = match service.recover() {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("egobtw-serve: recovery: {e}");
+            log.error("recovery-failed", &[("error", &e.to_string())]);
             std::process::exit(1);
         }
     };
@@ -226,7 +254,7 @@ fn main() {
         match service.load_path(name, path, *mode) {
             Ok(reply) => println!("{}", reply.render()),
             Err(e) => {
-                eprintln!("egobtw-serve: preload {name}: {e}");
+                log.error("preload-failed", &[("dataset", name), ("error", &e)]);
                 std::process::exit(1);
             }
         }
@@ -241,7 +269,10 @@ fn main() {
     let server = match Server::spawn_with(service.clone(), args.listen.as_str(), cfg) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("egobtw-serve: bind {}: {e}", args.listen);
+            log.error(
+                "bind-failed",
+                &[("addr", args.listen.as_str()), ("error", &e.to_string())],
+            );
             std::process::exit(1);
         }
     };
@@ -272,7 +303,7 @@ fn main() {
     server.drain(Duration::from_millis(args.drain_grace));
     // Durability barrier: whatever was acked is on disk before exit 0.
     if let Err(e) = service.catalog().sync_all() {
-        eprintln!("egobtw-serve: wal sync during drain: {e}");
+        log.error("wal-sync-failed", &[("error", &e.to_string())]);
         std::process::exit(1);
     }
     let _ = writeln!(std::io::stdout(), "drained; exiting");

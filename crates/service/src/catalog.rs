@@ -47,14 +47,15 @@
 //! of a full O(n log n) sort — the cheapest writer under update-heavy
 //! load at small k.
 
-use crate::wal::{self, crash, PersistConfig, Wal, WalRecord, WAL_FILE};
+use crate::wal::{self, crash, PersistConfig, Wal, WalMetrics, WalRecord, WAL_FILE};
 use egobtw_core::registry::topk_from_scores;
 use egobtw_dynamic::{DeltaIndex, EdgeOp, LazyTopK, LocalIndex};
 use egobtw_graph::io::fnv1a64;
 use egobtw_graph::{CsrGraph, FxHashMap, VertexId};
+use egobtw_telemetry::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::fs;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -469,6 +470,100 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
 }
 
+/// Per-dataset telemetry bundle. Detached handles by default (usable
+/// standalone in tests); [`Catalog::insert`] and [`Catalog::recover_all`]
+/// swap in registry-backed handles labeled `dataset`/`shard`, so one
+/// `METRICS` scrape covers every dataset of the catalog.
+#[derive(Clone, Default)]
+pub struct DatasetMetrics {
+    /// Queries answered from the per-epoch result cache (cumulative
+    /// across epochs; the caches themselves die on every publish).
+    pub cache_hits: Arc<Counter>,
+    /// Queries that had to run an engine.
+    pub cache_misses: Arc<Counter>,
+    /// Queries answered by joining another requester's in-flight
+    /// computation of the same key at the same epoch.
+    pub coalesced: Arc<Counter>,
+    /// Cumulative pair samples drawn by `approx:` engine runs on this
+    /// dataset (0 until the first approx query).
+    pub approx_samples: Arc<Counter>,
+    /// Cumulative adaptive rounds run before the approx stopping rule
+    /// fired, across all `approx:` engine runs on this dataset.
+    pub approx_rounds: Arc<Counter>,
+    /// Exact ego-betweenness computations engines ran on this dataset.
+    pub exact: Arc<Counter>,
+    /// Candidate vertices engines pruned via upper bounds.
+    pub pruned: Arc<Counter>,
+    /// Triangles enumerated by engine computations.
+    pub triangles: Arc<Counter>,
+    /// Current published epoch.
+    pub epoch: Arc<Gauge>,
+    /// Stale maintained members at the current epoch (lazy mode; 0
+    /// elsewhere).
+    pub stale_members: Arc<Gauge>,
+    /// Snapshot compactions completed.
+    pub compactions: Arc<Counter>,
+    /// WAL append/fsync counters handed to the dataset's [`Wal`].
+    pub wal: WalMetrics,
+}
+
+impl DatasetMetrics {
+    /// Registry-backed handles for `dataset` living in `shard`.
+    pub fn registered(registry: &Registry, dataset: &str, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("dataset", dataset), ("shard", &shard)];
+        let counter = |name, help: &str| registry.counter(name, help, labels);
+        DatasetMetrics {
+            cache_hits: counter(
+                "egobtw_cache_hits_total",
+                "Queries answered from the per-epoch result cache.",
+            ),
+            cache_misses: counter(
+                "egobtw_cache_misses_total",
+                "Queries that had to run an engine.",
+            ),
+            coalesced: counter(
+                "egobtw_cache_coalesced_total",
+                "Queries that joined another requester's in-flight computation.",
+            ),
+            approx_samples: counter(
+                "egobtw_approx_samples_total",
+                "Pair samples drawn by approx engine runs.",
+            ),
+            approx_rounds: counter(
+                "egobtw_approx_rounds_total",
+                "Adaptive rounds run by approx engine runs.",
+            ),
+            exact: counter(
+                "egobtw_work_exact_total",
+                "Exact ego-betweenness computations run by engines.",
+            ),
+            pruned: counter(
+                "egobtw_work_pruned_total",
+                "Candidate vertices pruned by engine upper bounds.",
+            ),
+            triangles: counter(
+                "egobtw_work_triangles_total",
+                "Triangles enumerated by engine computations.",
+            ),
+            epoch: registry.gauge("egobtw_dataset_epoch", "Current published epoch.", labels),
+            stale_members: registry.gauge(
+                "egobtw_dataset_stale_members",
+                "Stale maintained members at the current epoch (lazy mode).",
+                labels,
+            ),
+            compactions: counter(
+                "egobtw_wal_compactions_total",
+                "Snapshot compactions completed.",
+            ),
+            wal: WalMetrics {
+                appends: counter("egobtw_wal_appends_total", "WAL records appended."),
+                fsyncs: counter("egobtw_wal_fsyncs_total", "Explicit WAL data syncs."),
+            },
+        }
+    }
+}
+
 /// A named dataset: writer-side maintainer + reader-side current snapshot.
 pub struct Dataset {
     name: String,
@@ -476,20 +571,7 @@ pub struct Dataset {
     writer: Mutex<Writer>,
     current: RwLock<Arc<EpochSnapshot>>,
     retired: AtomicBool,
-    /// Cumulative cache counters (across epochs; the per-epoch caches
-    /// themselves are dropped on every publish).
-    pub cache_hits: AtomicU64,
-    /// See [`Dataset::cache_hits`].
-    pub cache_misses: AtomicU64,
-    /// Queries answered by joining another requester's in-flight
-    /// computation of the same key at the same epoch.
-    pub coalesced: AtomicU64,
-    /// Cumulative pair samples drawn by `approx:` engine runs on this
-    /// dataset (0 until the first approx query).
-    pub approx_samples: AtomicU64,
-    /// Cumulative adaptive rounds run before the approx stopping rule
-    /// fired, across all `approx:` engine runs on this dataset.
-    pub approx_rounds: AtomicU64,
+    metrics: DatasetMetrics,
 }
 
 impl Dataset {
@@ -510,11 +592,7 @@ impl Dataset {
             }),
             current: RwLock::new(Arc::new(snapshot)),
             retired: AtomicBool::new(false),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            approx_samples: AtomicU64::new(0),
-            approx_rounds: AtomicU64::new(0),
+            metrics: DatasetMetrics::default(),
         }
     }
 
@@ -603,11 +681,7 @@ impl Dataset {
             writer: Mutex::new(writer),
             current: RwLock::new(snapshot),
             retired: AtomicBool::new(false),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            approx_samples: AtomicU64::new(0),
-            approx_rounds: AtomicU64::new(0),
+            metrics: DatasetMetrics::default(),
         };
         Ok((
             ds,
@@ -623,6 +697,29 @@ impl Dataset {
     /// The dataset's catalog name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The dataset's telemetry handles (detached unless the dataset was
+    /// created through a [`Catalog`]).
+    pub fn metrics(&self) -> &DatasetMetrics {
+        &self.metrics
+    }
+
+    /// Swaps in registry-backed telemetry (before the dataset becomes
+    /// shared): wires the WAL counters through and seeds the epoch and
+    /// staleness gauges from the current state.
+    fn attach_metrics(&mut self, metrics: DatasetMetrics) {
+        {
+            let mut w = self.writer.lock().unwrap();
+            if let Some(p) = w.persist.as_mut() {
+                p.wal.set_metrics(metrics.wal.clone());
+            }
+            metrics.epoch.set(w.epoch as i64);
+        }
+        metrics
+            .stale_members
+            .set(self.snapshot().stale_members as i64);
+        self.metrics = metrics;
     }
 
     /// The maintainer mode.
@@ -735,13 +832,19 @@ impl Dataset {
         w.ops_applied += applied as u64;
         let snapshot = Self::build_snapshot(self.mode, &mut w);
         let (sn, sm) = (snapshot.graph.n(), snapshot.graph.m());
+        let stale = snapshot.stale_members;
         *self.current.write().unwrap() = snapshot;
+        self.metrics.epoch.set(epoch as i64);
+        self.metrics.stale_members.set(stale as i64);
         if let Some(p) = w.persist.as_ref() {
             if p.wal.records() >= p.compact_every {
-                if let Err(e) = Self::compact_locked(&mut w) {
+                if let Err(e) = self.compact_locked(&mut w) {
                     // Compaction failure is not fatal: the WAL still holds
                     // every record a restart needs.
-                    eprintln!("egobtw: compaction of {:?} failed: {e}", self.name);
+                    egobtw_telemetry::global().warn(
+                        "compaction-failed",
+                        &[("dataset", self.name.as_str()), ("error", e.as_str())],
+                    );
                 }
             }
         }
@@ -781,10 +884,10 @@ impl Dataset {
         if self.retired() {
             return Err(format!("dataset {:?} is retired", self.name));
         }
-        Self::compact_locked(&mut w)
+        self.compact_locked(&mut w)
     }
 
-    fn compact_locked(w: &mut Writer) -> Result<u64, String> {
+    fn compact_locked(&self, w: &mut Writer) -> Result<u64, String> {
         let epoch = w.epoch;
         let g = w.maintainer.to_csr();
         let Some(p) = w.persist.as_mut() else {
@@ -792,6 +895,7 @@ impl Dataset {
         };
         wal::write_snapshot_at(&p.dir, &g, epoch).map_err(|e| format!("write snapshot: {e}"))?;
         p.wal.truncate().map_err(|e| format!("truncate WAL: {e}"))?;
+        self.metrics.compactions.inc();
         Ok(epoch)
     }
 
@@ -855,6 +959,7 @@ impl Dataset {
         debug_assert_eq!(snapshot.epoch, epoch);
         debug_assert!(snapshot.maintained.is_some());
         *self.current.write().unwrap() = snapshot;
+        self.metrics.stale_members.set(0);
         Some(entries)
     }
 
@@ -924,7 +1029,7 @@ impl Shard {
 }
 
 /// Catalog construction knobs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CatalogConfig {
     /// Independent shards (map locks + writer pools). Dataset names hash
     /// to a shard; operations on different shards never contend.
@@ -934,6 +1039,19 @@ pub struct CatalogConfig {
     pub writers_per_shard: usize,
     /// Durability; `None` keeps every dataset in-memory only.
     pub persist: Option<PersistConfig>,
+    /// Registry every dataset's telemetry lands in. The service shares
+    /// its own registry here so one `METRICS` scrape covers the catalog.
+    pub registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for CatalogConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogConfig")
+            .field("shards", &self.shards)
+            .field("writers_per_shard", &self.writers_per_shard)
+            .field("persist", &self.persist)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for CatalogConfig {
@@ -942,6 +1060,7 @@ impl Default for CatalogConfig {
             shards: 8,
             writers_per_shard: 2,
             persist: None,
+            registry: Arc::new(Registry::new()),
         }
     }
 }
@@ -951,6 +1070,7 @@ pub struct Catalog {
     shards: Vec<Shard>,
     writers_per_shard: usize,
     persist: Option<PersistConfig>,
+    registry: Arc<Registry>,
 }
 
 impl Default for Catalog {
@@ -971,7 +1091,13 @@ impl Catalog {
             shards: (0..cfg.shards.max(1)).map(|_| Shard::new()).collect(),
             writers_per_shard: cfg.writers_per_shard.max(1),
             persist: cfg.persist,
+            registry: cfg.registry,
         }
+    }
+
+    /// The registry dataset telemetry lands in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Checks a dataset name: non-empty, at most 200 bytes, charset
@@ -1022,10 +1148,16 @@ impl Catalog {
         if map.contains_key(name) {
             return Err(format!("dataset {name:?} already loaded"));
         }
-        let ds = Arc::new(match &self.persist {
+        let mut ds = match &self.persist {
             Some(cfg) => Dataset::create_persistent(name, g, mode, cfg)?,
             None => Dataset::new(name, g, mode),
-        });
+        };
+        ds.attach_metrics(DatasetMetrics::registered(
+            &self.registry,
+            name,
+            self.shard_of(name),
+        ));
+        let ds = Arc::new(ds);
         map.insert(name.to_string(), ds.clone());
         Ok(ds)
     }
@@ -1144,7 +1276,12 @@ impl Catalog {
         names.sort();
         let mut out = Vec::new();
         for name in names {
-            let (ds, report) = Dataset::recover(&name, &cfg)?;
+            let (mut ds, report) = Dataset::recover(&name, &cfg)?;
+            ds.attach_metrics(DatasetMetrics::registered(
+                &self.registry,
+                &name,
+                self.shard_of(&name),
+            ));
             self.shard(&name)
                 .map
                 .write()
@@ -1492,7 +1629,7 @@ mod tests {
         let cat = Catalog::with_config(CatalogConfig {
             shards: 2,
             writers_per_shard: 2,
-            persist: None,
+            ..CatalogConfig::default()
         });
         cat.insert("a", classic::star(8), Mode::default()).unwrap();
         cat.insert("b", classic::path(8), Mode::default()).unwrap();

@@ -41,6 +41,11 @@
 //!   percentiles into `BENCH_service.json`, and an oracle-checked mode
 //!   that verifies every sampled top-k answer against a from-scratch
 //!   replay of the update stream (zero tolerance, tie-aware).
+//! * [`obs`] — observability wiring: one shared metrics registry spanning
+//!   every layer (scraped by `METRICS` in Prometheus text exposition),
+//!   request-outcome accounting, per-verb latency histograms, per-request
+//!   span tracing (opt-in `TRACE` prefix), and the `SLOWLOG` ring. See
+//!   `docs/OBSERVABILITY.md`.
 //!
 //! Binaries: `egobtw-serve` (daemon) and `egobtw-cli` (scriptable client
 //! + loadgen). See the README serving quickstart.
@@ -49,13 +54,19 @@
 
 pub mod catalog;
 pub mod loadgen;
+pub mod obs;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod wal;
 
-pub use catalog::{Catalog, CatalogConfig, Dataset, EpochSnapshot, Mode, RecoveryReport};
-pub use proto::{parse_command, read_frame, split_deadline, write_frame, Command, MAX_UPDATE_OPS};
+pub use catalog::{
+    Catalog, CatalogConfig, Dataset, DatasetMetrics, EpochSnapshot, Mode, RecoveryReport,
+};
+pub use obs::ServiceMetrics;
+pub use proto::{
+    parse_command, read_frame, split_deadline, split_trace, write_frame, Command, MAX_UPDATE_OPS,
+};
 pub use server::{
     call_with_retry, connect_with_retry, is_retryable_response, roundtrip, RetryPolicy, Server,
     ServerConfig,

@@ -348,26 +348,165 @@ fn reader_loop(
     Ok(log)
 }
 
-fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1000.0
+/// Interpolated percentile in microseconds over ascending-sorted
+/// nanosecond samples, with the sample count the estimate rests on.
+/// Delegates to [`egobtw_telemetry::percentile_sorted`] — the old
+/// nearest-rank rounding clamped small-sample tail quantiles (p99 of 50
+/// samples *was* the max) without telling anyone.
+pub fn percentile_us(sorted_ns: &[u64], q: f64) -> (f64, usize) {
+    let us = egobtw_telemetry::percentile_sorted(sorted_ns, q).map_or(0.0, |ns| ns / 1000.0);
+    (us, sorted_ns.len())
 }
 
 fn latency_json(mut ns: Vec<u64>) -> Json {
     ns.sort_unstable();
     Json::Obj(vec![
         ("count".into(), Json::Num(ns.len() as f64)),
-        ("p50_us".into(), Json::Num(percentile_us(&ns, 0.50))),
-        ("p90_us".into(), Json::Num(percentile_us(&ns, 0.90))),
-        ("p99_us".into(), Json::Num(percentile_us(&ns, 0.99))),
+        ("p50_us".into(), Json::Num(percentile_us(&ns, 0.50).0)),
+        ("p90_us".into(), Json::Num(percentile_us(&ns, 0.90).0)),
+        ("p99_us".into(), Json::Num(percentile_us(&ns, 0.99).0)),
         (
             "max_us".into(),
             Json::Num(ns.last().map_or(0.0, |&x| x as f64 / 1000.0)),
         ),
     ])
+}
+
+/// Metrics crosscheck: drives an in-process service with
+/// compute-dominated `TOPK`s (distinct `k` per request so the per-epoch
+/// cache never absorbs them), then scrapes `METRICS` and checks the
+/// server-side `TOPK` latency histogram against the client-side timings
+/// — the two views of every request must put each quantile within one
+/// log2 bucket of each other. Returns a JSON report; `Err` when the
+/// exposition fails to parse/validate or a quantile drifts further.
+pub fn metrics_crosscheck(requests: usize, seed: u64) -> Result<Json, String> {
+    use egobtw_telemetry::{bucket_index, percentile_sorted, prometheus};
+
+    // Every request gets a distinct k so none hits the per-epoch cache —
+    // a fast-hit/slow-miss bimodal distribution would let an interpolated
+    // client percentile land between the two modes while the server's
+    // closest-rank bucket sticks to one of them. The cap keeps k < n.
+    let requests = requests.clamp(8, 128);
+    let service = Service::new();
+    let g = egobtw_gen::gnp(160, 0.08, seed);
+    service.load_graph("xcheck", g, Mode::default())?;
+
+    let mut client_ns = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let k = 1 + i;
+        let t0 = Instant::now();
+        let reply = service.handle_line(&format!("TOPK xcheck {k} core::compute_all"));
+        client_ns.push(t0.elapsed().as_nanos() as u64);
+        expect_ok(&reply)?;
+    }
+    client_ns.sort_unstable();
+
+    let text = service.handle_line("METRICS");
+    let expo = prometheus::parse(&text)?;
+    let violations = expo.validate(&[
+        "egobtw_request_latency_ns",
+        "egobtw_requests_admitted_total",
+    ]);
+    if !violations.is_empty() {
+        return Err(format!("exposition invalid: {violations:?}"));
+    }
+    let server = expo
+        .histogram("egobtw_request_latency_ns", &[("verb", "TOPK")])
+        .ok_or("no server-side TOPK latency series")?;
+    if server.count != requests as u64 {
+        return Err(format!(
+            "server saw {} TOPKs, client sent {requests}",
+            server.count
+        ));
+    }
+
+    let mut fields = vec![
+        ("requests".into(), Json::Num(requests as f64)),
+        ("client".into(), latency_json(client_ns.clone())),
+    ];
+    for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
+        let client = percentile_sorted(&client_ns, q).unwrap_or(0.0) as u64;
+        let server_le = server
+            .quantile(q)
+            .ok_or_else(|| format!("server histogram empty at {label}"))?;
+        let (cb, sb) = (bucket_index(client), bucket_index(server_le));
+        fields.push((format!("{label}_bucket_client"), Json::Num(cb as f64)));
+        fields.push((format!("{label}_bucket_server"), Json::Num(sb as f64)));
+        if cb.abs_diff(sb) > 1 {
+            return Err(format!(
+                "{label}: client {client}ns (bucket {cb}) vs server ≤{server_le}ns \
+                 (bucket {sb}) — more than one log2 bucket apart"
+            ));
+        }
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Metric names every healthy daemon must expose (the live-scrape gate).
+pub const REQUIRED_METRICS: [&str; 8] = [
+    "egobtw_requests_admitted_total",
+    "egobtw_requests_completed_total",
+    "egobtw_requests_cancelled_total",
+    "egobtw_requests_failed_total",
+    "egobtw_request_latency_ns",
+    "egobtw_shed_total",
+    "egobtw_timeouts_total",
+    "egobtw_compute_inflight",
+];
+
+/// Live-daemon scrape gate: two `METRICS` scrapes over TCP, each parsed
+/// and schema-validated (required families present, histogram buckets
+/// cumulative, `+Inf` == `_count`), plus counter monotonicity between
+/// them — every `_total` series in the first scrape must be ≤ its value
+/// in the second. Returns a human-readable summary line.
+pub fn metrics_check_live(addr: &str) -> Result<String, String> {
+    use egobtw_telemetry::prometheus::{self, Exposition};
+
+    let scrape = || -> Result<Exposition, String> {
+        let (mut reader, mut writer) = connect_with_retry(addr, Duration::from_secs(10))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let text =
+            roundtrip(&mut reader, &mut writer, "METRICS").map_err(|e| format!("i/o: {e}"))?;
+        let expo = prometheus::parse(&text)?;
+        let violations = expo.validate(&REQUIRED_METRICS);
+        if violations.is_empty() {
+            Ok(expo)
+        } else {
+            Err(format!("exposition invalid: {violations:?}"))
+        }
+    };
+    let first = scrape()?;
+    let second = scrape()?;
+    let mut series = 0usize;
+    for (name, fam) in &first.families {
+        if fam.kind != "counter" {
+            continue;
+        }
+        for s in &fam.samples {
+            let labels: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            // A counter can't vanish between scrapes — a missing series
+            // in the second scrape must fail the monotonicity check.
+            let later = second.value(name, &labels)?.unwrap_or(f64::NEG_INFINITY);
+            if later < s.value {
+                return Err(format!(
+                    "{name}{labels:?} went backwards: {} → {later}",
+                    s.value
+                ));
+            }
+            series += 1;
+        }
+    }
+    let admitted = second
+        .value("egobtw_requests_admitted_total", &[])?
+        .unwrap_or(0.0);
+    Ok(format!(
+        "metrics-check OK: {} families, {series} counter series monotone, admitted={admitted}",
+        second.families.len()
+    ))
 }
 
 /// Oracle check: verify every sampled top-k answer against a replay of
@@ -628,6 +767,7 @@ fn run_recovery_dataset(
                 fsync: FsyncPolicy::Always,
                 compact_every: 64,
             }),
+            ..CatalogConfig::default()
         })
     };
     let check = cfg.check && n <= cfg.check_max_n;
@@ -778,6 +918,7 @@ fn run_multi_tenant_scenario(cfg: &LoadgenConfig, tenants: usize) -> Result<Json
         shards: 8,
         writers_per_shard: 2,
         persist: None,
+        ..CatalogConfig::default()
     });
     let t0 = Instant::now();
     let graphs: Vec<CsrGraph> = (0..tenants)
@@ -1298,4 +1439,36 @@ pub fn validate(doc: &Json, min_datasets: usize, min_scenarios: usize) -> Result
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_the_tail_instead_of_clamping() {
+        // 50 samples: nearest-rank rounding used to clamp p99 to the max.
+        let ns: Vec<u64> = (1..=50).map(|i| i * 1_000).collect();
+        let (p99, count) = percentile_us(&ns, 0.99);
+        assert_eq!(count, 50);
+        assert!(
+            p99 > 49.0 && p99 < 50.0,
+            "p99 of 50 samples must interpolate below the max, got {p99}"
+        );
+        let (max, _) = percentile_us(&ns, 1.0);
+        assert_eq!(max, 50.0);
+        let (p50, _) = percentile_us(&ns, 0.50);
+        assert_eq!(p50, 25.5);
+        assert_eq!(percentile_us(&[], 0.5), (0.0, 0));
+    }
+
+    #[test]
+    fn metrics_crosscheck_agrees_within_one_bucket() {
+        let report = metrics_crosscheck(8, 7).expect("crosscheck must pass");
+        assert_eq!(
+            report.get("requests").and_then(|r| r.as_num()),
+            Some(8.0),
+            "{report:?}"
+        );
+    }
 }

@@ -1,0 +1,143 @@
+//! Service-level observability wiring: the metric names this crate owns.
+//!
+//! [`ServiceMetrics`] bundles the shared [`Registry`], the slow-query
+//! log, the request-outcome counters, and the per-verb latency
+//! histograms every request path records into. It is created once per
+//! [`crate::Service`] and shared (via the service) with the TCP server
+//! and the catalog, so one `METRICS` scrape covers every layer.
+//!
+//! Accounting contract (asserted by the conformance chaos driver):
+//! every admitted command line lands in **exactly one** outcome bucket,
+//! so at any scrape point
+//!
+//! ```text
+//! egobtw_requests_admitted_total ==
+//!     egobtw_requests_completed_total
+//!   + egobtw_requests_cancelled_total
+//!   + egobtw_requests_failed_total
+//! ```
+//!
+//! `cancelled` covers deadline expiry and client-gone aborts; `failed`
+//! covers every other `ERR` (parse errors and `ERR busy` sheds
+//! included); `completed` is an `OK` reply — the `METRICS` command
+//! counts itself *before* rendering, so the invariant holds within its
+//! own scrape.
+
+use egobtw_telemetry::{Counter, Histogram, Registry, SlowLog};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How many slow-query entries the ring retains before evicting.
+pub const SLOWLOG_CAP: usize = 128;
+
+/// Every verb the request-latency histogram family is pre-registered
+/// for (unknown verbs fall into the `"?"` series).
+const VERBS: [&str; 13] = [
+    "LOAD", "TOPK", "SCORE", "COMMON", "UPDATE", "STATS", "LIST", "DROP", "COMPACT", "PING",
+    "METRICS", "SLOWLOG", "?",
+];
+
+/// Shared observability state of one [`crate::Service`].
+pub struct ServiceMetrics {
+    registry: Arc<Registry>,
+    slowlog: Arc<SlowLog>,
+    /// Command lines admitted for execution (bumped at line entry).
+    pub admitted: Arc<Counter>,
+    /// Lines answered with `OK`.
+    pub completed: Arc<Counter>,
+    /// Lines abandoned by deadline expiry or client disconnect.
+    pub cancelled: Arc<Counter>,
+    /// Lines answered with any other `ERR` (sheds and parse errors too).
+    pub failed: Arc<Counter>,
+    /// Per-verb request latency (total nanoseconds, log2 buckets).
+    latency: HashMap<&'static str, Arc<Histogram>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new(Arc::new(Registry::new()))
+    }
+}
+
+impl ServiceMetrics {
+    /// Wires the outcome counters and latency histograms into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let outcome = |name: &str, help: &str| registry.counter(name, help, &[]);
+        let latency = VERBS
+            .iter()
+            .map(|&verb| {
+                (
+                    verb,
+                    registry.histogram(
+                        "egobtw_request_latency_ns",
+                        "Server-side request latency in nanoseconds, by verb.",
+                        &[("verb", verb)],
+                    ),
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            admitted: outcome(
+                "egobtw_requests_admitted_total",
+                "Command lines admitted for execution.",
+            ),
+            completed: outcome(
+                "egobtw_requests_completed_total",
+                "Command lines answered with OK.",
+            ),
+            cancelled: outcome(
+                "egobtw_requests_cancelled_total",
+                "Command lines abandoned by deadline expiry or client disconnect.",
+            ),
+            failed: outcome(
+                "egobtw_requests_failed_total",
+                "Command lines answered with ERR (sheds and parse errors included).",
+            ),
+            latency,
+            slowlog: Arc::new(SlowLog::new(SLOWLOG_CAP)),
+            registry,
+        }
+    }
+
+    /// The registry behind the `METRICS` exposition.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The slow-query ring drained by `SLOWLOG`.
+    pub fn slowlog(&self) -> &Arc<SlowLog> {
+        &self.slowlog
+    }
+
+    /// The latency histogram for `verb` (the `"?"` series for verbs that
+    /// never parsed).
+    pub fn latency(&self, verb: &str) -> &Histogram {
+        self.latency.get(verb).unwrap_or_else(|| &self.latency["?"])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counters_and_latency_land_in_the_exposition() {
+        let m = ServiceMetrics::default();
+        m.admitted.inc();
+        m.completed.inc();
+        m.latency("TOPK").record(1_500);
+        m.latency("NOPE").record(7); // unknown verb → "?" series
+        let text = m.registry().render();
+        assert!(text.contains("egobtw_requests_admitted_total 1"), "{text}");
+        assert!(text.contains("egobtw_requests_completed_total 1"), "{text}");
+        assert!(text.contains("egobtw_requests_cancelled_total 0"), "{text}");
+        assert!(
+            text.contains("egobtw_request_latency_ns_count{verb=\"TOPK\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("egobtw_request_latency_ns_count{verb=\"?\"} 1"),
+            "{text}"
+        );
+    }
+}

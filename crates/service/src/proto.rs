@@ -24,6 +24,9 @@
 //! DROP   <name>                                 remove a dataset (retire + delete WAL)
 //! COMPACT <name>                                force a snapshot compaction now
 //! PING                                          liveness probe
+//! METRICS                                       Prometheus text exposition of every
+//!                                               registered metric (multi-line reply)
+//! SLOWLOG                                       drain the slow-query ring (multi-line)
 //! ```
 //!
 //! Any command line may carry a `DEADLINE <ms>` prefix, e.g.
@@ -31,6 +34,16 @@
 //! `ERR deadline`) once that many milliseconds have elapsed since
 //! dequeue — enforced both before execution starts and cooperatively at
 //! the engines' compute checkpoints.
+//!
+//! Any command line may also carry a `TRACE` prefix (before `DEADLINE`
+//! when both are present), e.g. `TRACE DEADLINE 250 TOPK g 8`: the reply
+//! line gains a trailing ` trace=total:…us,parse:…us,…` token with the
+//! request's span breakdown and engine work counters.
+//!
+//! `METRICS` and `SLOWLOG` are the two replies that span multiple lines,
+//! so each must be the **only** command line in its frame — batching
+//! would break the one-response-line-per-command pairing every other
+//! command relies on.
 
 use crate::catalog::Mode;
 use egobtw_dynamic::EdgeOp;
@@ -174,6 +187,12 @@ pub enum Command {
     },
     /// Liveness probe; replies `OK pong`.
     Ping,
+    /// Prometheus text exposition of every registered metric. Multi-line
+    /// reply: must be the only command line in its frame.
+    Metrics,
+    /// Drain the slow-query ring. Multi-line reply: must be the only
+    /// command line in its frame.
+    Slowlog,
 }
 
 fn parse_vertex(tok: &str) -> Result<VertexId, String> {
@@ -284,6 +303,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             name: it.next().ok_or("COMPACT needs a name")?.to_string(),
         },
         "PING" => Command::Ping,
+        "METRICS" => Command::Metrics,
+        "SLOWLOG" => Command::Slowlog,
         other => return Err(format!("unknown verb {other:?}")),
     };
     // Variadic commands (SCORE, UPDATE) drained the iterator above; every
@@ -320,6 +341,28 @@ pub fn split_deadline(line: &str) -> Result<(Option<u64>, &str), String> {
         return Err("DEADLINE needs a command after the budget".into());
     }
     Ok((Some(ms), cmd))
+}
+
+/// Strips an optional `TRACE` prefix from a command line, mirroring
+/// [`split_deadline`]'s semantics: lines without the prefix pass through
+/// untouched, a bare `TRACE` is an error (never silently a verb), and
+/// `TRACEX …` is not the prefix. The flag asks the service to append a
+/// ` trace=…` span-breakdown token to the reply line.
+pub fn split_trace(line: &str) -> Result<(bool, &str), String> {
+    let trimmed = line.trim_start();
+    match trimmed.strip_prefix("TRACE") {
+        Some(r) if r.starts_with(char::is_whitespace) => {
+            let rest = r.trim_start();
+            if rest.is_empty() {
+                return Err("TRACE needs a command to trace".into());
+            }
+            Ok((true, rest))
+        }
+        // A bare `TRACE` is the prefix with its command missing.
+        Some("") => Err("TRACE needs a command to trace".into()),
+        // `TRACEX …` is not the prefix; let parse_command reject it.
+        _ => Ok((false, line)),
+    }
 }
 
 /// Renders score entries as the wire form `v:score,v:score,…`. Scores use
@@ -478,6 +521,8 @@ mod tests {
         );
         assert_eq!(parse_command("LIST").unwrap(), Command::List);
         assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(parse_command("SLOWLOG").unwrap(), Command::Slowlog);
         assert_eq!(
             parse_command("  STATS   g  ").unwrap(),
             Command::Stats { name: "g".into() }
@@ -517,6 +562,8 @@ mod tests {
             "DROP",
             "COMPACT",
             "COMPACT g extra",
+            "METRICS extra",
+            "SLOWLOG g",
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
         }
@@ -563,6 +610,24 @@ mod tests {
         let (ms, rest) = split_deadline("DEADLINE 10 PING").unwrap();
         assert_eq!(ms, Some(10));
         assert_eq!(parse_command(rest).unwrap(), Command::Ping);
+    }
+
+    #[test]
+    fn trace_prefix_splits_and_rejects() {
+        assert_eq!(split_trace("TRACE TOPK g 8").unwrap(), (true, "TOPK g 8"));
+        assert_eq!(split_trace("TOPK g 8").unwrap(), (false, "TOPK g 8"));
+        // TRACE composes in front of DEADLINE.
+        let (traced, rest) = split_trace("TRACE DEADLINE 250 TOPK g 8").unwrap();
+        assert!(traced);
+        assert_eq!(split_deadline(rest).unwrap(), (Some(250), "TOPK g 8"));
+        // Not the prefix: parse_command gets to reject the unknown verb.
+        assert_eq!(
+            split_trace("TRACER 1 PING").unwrap(),
+            (false, "TRACER 1 PING")
+        );
+        for bad in ["TRACE", "TRACE   ", "  TRACE"] {
+            assert!(split_trace(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -132,7 +132,10 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let active = Arc::new(AtomicU64::new(0));
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(cfg.queue_cap);
+        // The channel carries the accept timestamp so the worker can
+        // attribute queue wait to the session's first frame.
+        type Queued = (TcpStream, Instant);
+        let (tx, rx): (SyncSender<Queued>, Receiver<Queued>) = sync_channel(cfg.queue_cap);
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..cfg.threads)
@@ -145,10 +148,11 @@ impl Server {
                 let io_timeout = cfg.io_timeout;
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only for the recv itself.
-                    let stream = match rx.lock().unwrap().recv() {
+                    let (stream, accepted_at) = match rx.lock().unwrap().recv() {
                         Ok(s) => s,
                         Err(_) => return, // acceptor gone: drain complete
                     };
+                    let queue_ns = accepted_at.elapsed().as_nanos() as u64;
                     if shutdown.load(Ordering::SeqCst) {
                         // Draining: a queued session is refused, not
                         // served — explicitly, so the client backs off
@@ -165,11 +169,14 @@ impl Server {
                     // file tripping an assert) must not shrink the fixed
                     // pool — contain it and take the next connection.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        serve_connection(&service, stream, &registry, &shutdown, io_timeout)
+                        serve_connection(
+                            &service, stream, &registry, &shutdown, io_timeout, queue_ns,
+                        )
                     }));
                     active.fetch_sub(1, Ordering::SeqCst);
                     if outcome.is_err() {
-                        eprintln!("egobtw-serve: worker {worker_id} survived a panicked session");
+                        egobtw_telemetry::global()
+                            .warn("worker-panic", &[("worker", &worker_id.to_string())]);
                     }
                 })
             })
@@ -191,9 +198,9 @@ impl Server {
                         shed(&service, &active, stream);
                         continue;
                     }
-                    match tx.try_send(stream) {
+                    match tx.try_send((stream, Instant::now())) {
                         Ok(()) => {}
-                        Err(TrySendError::Full(stream)) => shed(&service, &active, stream),
+                        Err(TrySendError::Full((stream, _))) => shed(&service, &active, stream),
                         Err(TrySendError::Disconnected(_)) => return,
                     }
                 }
@@ -278,7 +285,7 @@ impl Server {
 /// short write timeout keeps an unresponsive peer from stalling the
 /// acceptor itself.
 fn shed(service: &Service, active: &AtomicU64, stream: TcpStream) {
-    service.overload().shed.fetch_add(1, Ordering::Relaxed);
+    service.overload().shed.inc();
     stream
         .set_write_timeout(Some(Duration::from_millis(250)))
         .ok();
@@ -312,6 +319,7 @@ fn serve_connection(
     registry: &Registry,
     draining: &AtomicBool,
     io_timeout: Option<Duration>,
+    queue_ns: u64,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     if let Some(t) = io_timeout {
@@ -338,9 +346,19 @@ fn serve_connection(
 
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let write_ns = service.metrics().registry().histogram(
+        "egobtw_write_ns",
+        "Response frame write time in nanoseconds.",
+        &[],
+    );
+    let mut first_frame = true;
     while let Some(payload) = read_frame(&mut reader)? {
         entry.busy.store(true, Ordering::SeqCst);
-        let response = service.handle_payload_with(&payload, &entry.cancel);
+        // Queue wait (accept → worker pickup) belongs to the session's
+        // first frame only; later frames never sat in the accept queue.
+        let wait = if first_frame { queue_ns } else { 0 };
+        first_frame = false;
+        let response = service.handle_payload_queued(&payload, &entry.cancel, wait);
         {
             // Synchronize with the watchdog before touching the socket
             // again (it may be mid-peek with the socket nonblocking).
@@ -352,7 +370,9 @@ fn serve_connection(
             // reader; don't block trying to send it.
             break;
         }
+        let start = Instant::now();
         write_frame(&mut writer, &response)?;
+        write_ns.record(start.elapsed().as_nanos() as u64);
         if draining.load(Ordering::SeqCst) {
             break; // finish the in-flight frame, then bow out
         }

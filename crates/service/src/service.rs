@@ -23,13 +23,17 @@
 use crate::catalog::{
     CacheKey, Catalog, CatalogConfig, Claim, EpochSnapshot, Mode, RecoveryReport,
 };
-use crate::proto::{format_entries, parse_command, split_deadline, Command};
+use crate::obs::ServiceMetrics;
+use crate::proto::{format_entries, parse_command, split_deadline, split_trace, Command};
 use egobtw_core::naive::ego_betweenness_of;
 use egobtw_core::opt_search::{opt_bsearch_cancellable, OptParams};
 use egobtw_core::registry::{builtin_engines, RegisteredEngine};
+use egobtw_core::stats::SearchStats;
 use egobtw_core::{approx_topk_cancellable, ApproxParams, Cancel, Cancelled};
 use egobtw_graph::io::{read_edge_list_file, read_snapshot_file, IoError, SNAPSHOT_MAGIC};
 use egobtw_graph::{CsrGraph, VertexId};
+use egobtw_telemetry::span::{Phase, PhaseTimer, Trace};
+use egobtw_telemetry::{unix_ms, Counter, Gauge, Registry, SlowEntry};
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -163,7 +167,14 @@ pub enum Reply {
         /// Service-wide: requests cancelled by client disconnect.
         cancelled: u64,
         /// Service-wide: engine computations in flight right now.
-        inflight: u64,
+        inflight: i64,
+        /// Vertices engines computed exactly on this dataset (Table II's
+        /// metric, cumulative).
+        exact: u64,
+        /// Vertices engines pruned via upper bounds (cumulative).
+        pruned: u64,
+        /// Triangles engines enumerated (cumulative).
+        triangles: u64,
     },
     /// LIST answer.
     List(
@@ -184,10 +195,27 @@ pub enum Reply {
     },
     /// PING answer.
     Pong,
+    /// METRICS answer: the full Prometheus text exposition (multi-line;
+    /// the command must therefore be the only line of its frame).
+    Metrics(
+        /// Rendered exposition.
+        String,
+    ),
+    /// SLOWLOG answer: drained outliers (multi-line when entries exist;
+    /// the command must therefore be the only line of its frame).
+    Slowlog {
+        /// Drained entries, oldest first.
+        entries: Vec<SlowEntry>,
+        /// Entries evicted before anyone drained them.
+        dropped: u64,
+    },
 }
 
 impl Reply {
-    /// The single response line for this reply.
+    /// The wire form: a single response line for everything except
+    /// [`Reply::Metrics`] and a non-empty [`Reply::Slowlog`], which span
+    /// multiple lines (and are therefore restricted to single-line
+    /// frames by the handler).
     pub fn render(&self) -> String {
         match self {
             Reply::Load {
@@ -258,13 +286,17 @@ impl Reply {
                 timeouts,
                 cancelled,
                 inflight,
+                exact,
+                pruned,
+                triangles,
             } => format!(
                 "OK stats name={name} epoch={epoch} n={n} m={m} mode={} maintained={} \
                  stale_members={stale_members} ops_applied={ops_applied} \
                  cache_hits={cache_hits} cache_misses={cache_misses} coalesced={coalesced} \
                  shard={shard} persisted={persisted} wal_records={wal_records} \
                  approx_samples={approx_samples} approx_rounds={approx_rounds} \
-                 shed={shed} timeouts={timeouts} cancelled={cancelled} inflight={inflight}",
+                 shed={shed} timeouts={timeouts} cancelled={cancelled} inflight={inflight} \
+                 exact={exact} pruned={pruned} triangles={triangles}",
                 mode.render(),
                 maintained.map_or_else(|| "none".into(), |l| l.to_string()),
             ),
@@ -272,6 +304,15 @@ impl Reply {
             Reply::Dropped(name) => format!("OK drop name={name}"),
             Reply::Compacted { name, epoch } => format!("OK compact name={name} epoch={epoch}"),
             Reply::Pong => "OK pong".into(),
+            Reply::Metrics(text) => text.trim_end_matches('\n').to_string(),
+            Reply::Slowlog { entries, dropped } => {
+                let mut out = format!("OK slowlog count={} dropped={dropped}", entries.len());
+                for e in entries {
+                    out.push('\n');
+                    out.push_str(&e.render());
+                }
+                out
+            }
         }
     }
 }
@@ -326,29 +367,58 @@ pub const SHED_RETRY_MS: u64 = 50;
 
 /// Overload counters and the compute watermark, shared service-wide.
 ///
-/// The counters appear in every `STATS` reply so operators (and the
-/// conformance chaos driver) can see shedding and deadline pressure
-/// without a separate metrics endpoint.
-#[derive(Debug, Default)]
+/// The counters appear in every `STATS` reply and in the `METRICS`
+/// exposition so operators (and the conformance chaos driver) can see
+/// shedding and deadline pressure on either surface. Detached handles by
+/// default; [`Service::with_config`] registers them.
+#[derive(Default)]
 pub struct OverloadState {
     /// Requests refused with `ERR busy` at the compute watermark.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests abandoned because their deadline expired.
-    pub timeouts: AtomicU64,
+    pub timeouts: Arc<Counter>,
     /// Requests abandoned because the client vanished (explicit cancel).
-    pub cancelled: AtomicU64,
-    /// Engine computations running right now (gauge, not a counter).
-    pub inflight: AtomicU64,
+    pub cancelled: Arc<Counter>,
+    /// Engine computations running right now.
+    pub inflight: Arc<Gauge>,
     /// Max concurrent engine computations before shedding (0 = no limit).
     pub compute_watermark: AtomicU64,
 }
 
+impl OverloadState {
+    fn registered(registry: &Registry) -> Self {
+        OverloadState {
+            shed: registry.counter(
+                "egobtw_shed_total",
+                "Requests refused with ERR busy at the compute watermark.",
+                &[],
+            ),
+            timeouts: registry.counter(
+                "egobtw_timeouts_total",
+                "Requests abandoned because their deadline expired.",
+                &[],
+            ),
+            cancelled: registry.counter(
+                "egobtw_client_cancelled_total",
+                "Requests abandoned because the client vanished.",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "egobtw_compute_inflight",
+                "Engine computations running right now.",
+                &[],
+            ),
+            compute_watermark: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Decrements the in-flight gauge even if the engine panics.
-struct InflightGuard<'a>(&'a AtomicU64);
+struct InflightGuard<'a>(&'a Gauge);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.0.add(-1);
     }
 }
 
@@ -358,6 +428,7 @@ pub struct Service {
     engines: Vec<RegisteredEngine>,
     overload: OverloadState,
     default_deadline: Option<Duration>,
+    metrics: ServiceMetrics,
 }
 
 impl Default for Service {
@@ -376,12 +447,24 @@ impl Service {
     /// width, durability). Recovery of previously persisted datasets is a
     /// separate, explicit step: [`Service::recover`].
     pub fn with_config(cfg: CatalogConfig) -> Self {
+        // One registry spans every layer: the catalog's dataset series,
+        // the overload counters, and the request-outcome series all land
+        // where a single `METRICS` scrape finds them.
+        let metrics = ServiceMetrics::new(cfg.registry.clone());
+        let overload = OverloadState::registered(&cfg.registry);
         Service {
             catalog: Catalog::with_config(cfg),
             engines: builtin_engines(),
-            overload: OverloadState::default(),
+            overload,
             default_deadline: None,
+            metrics,
         }
+    }
+
+    /// The service's observability bundle (registry, slow-query log,
+    /// request-outcome counters).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Sets the deadline applied to every command line that carries no
@@ -411,10 +494,10 @@ impl Service {
     /// gone, otherwise the request's deadline expired.
     fn cancelled_err(&self, cancel: &Cancel) -> String {
         if cancel.is_flagged() {
-            self.overload.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.overload.cancelled.inc();
             "cancelled (client gone)".into()
         } else {
-            self.overload.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.overload.timeouts.inc();
             "deadline exceeded".into()
         }
     }
@@ -460,6 +543,49 @@ impl Service {
         })
     }
 
+    /// Folds one engine run's work counters into the request trace, the
+    /// dataset's cumulative counters (the `STATS` surface), and the
+    /// per-engine registry series (the `METRICS` surface).
+    fn record_engine_work(
+        &self,
+        ds: &crate::catalog::Dataset,
+        engine_label: &str,
+        stats: &SearchStats,
+        trace: &mut Trace,
+    ) {
+        trace.work.exact += stats.exact_computations as u64;
+        trace.work.pruned += stats.pruned as u64;
+        trace.work.triangles += stats.triangles_processed;
+        trace.work.bound_refreshes += stats.bound_refreshes as u64;
+        let m = ds.metrics();
+        m.exact.add(stats.exact_computations as u64);
+        m.pruned.add(stats.pruned as u64);
+        m.triangles.add(stats.triangles_processed);
+        let registry = self.metrics.registry();
+        let labels: &[(&str, &str)] = &[("engine", engine_label)];
+        registry
+            .counter(
+                "egobtw_engine_exact_total",
+                "Vertices computed exactly, by engine.",
+                labels,
+            )
+            .add(stats.exact_computations as u64);
+        registry
+            .counter(
+                "egobtw_engine_pruned_total",
+                "Vertices pruned by upper bounds, by engine.",
+                labels,
+            )
+            .add(stats.pruned as u64);
+        registry
+            .counter(
+                "egobtw_engine_triangles_total",
+                "Triangles processed, by engine.",
+                labels,
+            )
+            .add(stats.triangles_processed);
+    }
+
     fn run_engine_cached(
         &self,
         ds: &crate::catalog::Dataset,
@@ -467,6 +593,7 @@ impl Service {
         engine_name: &str,
         k: usize,
         cancel: &Cancel,
+        trace: &mut Trace,
     ) -> Result<(crate::catalog::SharedEntries, TopkSource), String> {
         // Resolve the engine before claiming a cache slot, so an unknown
         // name (or a malformed approx spec) can never leave a pending
@@ -491,17 +618,17 @@ impl Service {
         };
         match snap.claim(key) {
             Claim::Ready(hit) => {
-                ds.cache_hits.fetch_add(1, Ordering::Relaxed);
+                ds.metrics().cache_hits.inc();
                 Ok((hit, TopkSource::Cache))
             }
             Claim::Wait(pending) => {
                 // Identical query in flight: wait for its answer instead
                 // of burning another engine run on the same epoch.
-                ds.coalesced.fetch_add(1, Ordering::Relaxed);
+                ds.metrics().coalesced.inc();
                 Ok((pending.wait()?, TopkSource::Coalesced))
             }
             Claim::Compute(ticket) => {
-                ds.cache_misses.fetch_add(1, Ordering::Relaxed);
+                ds.metrics().cache_misses.inc();
                 // Load shedding at the compute watermark: refusing here —
                 // after the cache/coalesce fast paths, before the engine —
                 // sheds exactly the requests that would pile CPU work onto
@@ -509,49 +636,69 @@ impl Service {
                 // coalesced waiters with an error, which is right: they
                 // were waiting on work that is not going to happen.
                 let watermark = self.overload.compute_watermark.load(Ordering::Relaxed);
-                let running = self.overload.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+                let running = self.overload.inflight.add_and_get(1);
                 let _guard = InflightGuard(&self.overload.inflight);
-                if watermark > 0 && running > watermark {
-                    self.overload.shed.fetch_add(1, Ordering::Relaxed);
+                if watermark > 0 && running as u64 > watermark {
+                    self.overload.shed.inc();
                     return Err(format!("busy retry_after_ms={SHED_RETRY_MS}"));
                 }
-                let run = || -> Result<Vec<(VertexId, f64)>, Cancelled> {
-                    Ok(match (engine, &approx) {
-                        (None, Some(params)) => {
-                            let result = approx_topk_cancellable(&snap.graph, k, params, cancel)?;
-                            ds.approx_samples
-                                .fetch_add(result.samples_drawn, Ordering::Relaxed);
-                            ds.approx_rounds
-                                .fetch_add(u64::from(result.rounds), Ordering::Relaxed);
-                            result.topk_entries()
-                        }
-                        (None, None) => {
-                            opt_bsearch_cancellable(
-                                &snap.graph,
-                                k,
-                                OptParams { theta: 1.05 },
-                                cancel,
-                            )?
-                            .entries
-                        }
-                        (Some(engine), _) => engine.topk_cancellable(&snap.graph, k, cancel)?,
-                    })
-                };
-                let entries = Arc::new(run().map_err(|Cancelled| self.cancelled_err(cancel))?);
-                ticket.fulfill(entries.clone());
                 let label = if engine_name == "auto" {
                     "core::opt_search(θ=1.05)".to_string()
                 } else {
                     engine_name.to_string()
                 };
+                let timer = PhaseTimer::start(Phase::Compute);
+                let mut work = SearchStats::default();
+                let mut run = || -> Result<Vec<(VertexId, f64)>, Cancelled> {
+                    Ok(match (engine, &approx) {
+                        (None, Some(params)) => {
+                            let result = approx_topk_cancellable(&snap.graph, k, params, cancel)?;
+                            ds.metrics().approx_samples.add(result.samples_drawn);
+                            ds.metrics().approx_rounds.add(u64::from(result.rounds));
+                            trace.work.samples += result.samples_drawn;
+                            trace.work.rounds += u64::from(result.rounds);
+                            result.topk_entries()
+                        }
+                        (None, None) => {
+                            let result = opt_bsearch_cancellable(
+                                &snap.graph,
+                                k,
+                                OptParams { theta: 1.05 },
+                                cancel,
+                            )?;
+                            work = result.stats;
+                            result.entries
+                        }
+                        (Some(engine), _) => {
+                            let result =
+                                engine.topk_with_stats_cancellable(&snap.graph, k, cancel)?;
+                            work = result.stats;
+                            result.entries
+                        }
+                    })
+                };
+                let outcome = run().map_err(|Cancelled| self.cancelled_err(cancel));
+                trace.end(timer);
+                self.record_engine_work(ds, &label, &work, trace);
+                let entries = Arc::new(outcome?);
+                ticket.fulfill(entries.clone());
                 Ok((entries, TopkSource::Engine(label)))
             }
         }
     }
 
-    fn topk(&self, name: &str, k: usize, engine: &str, cancel: &Cancel) -> Result<Reply, String> {
+    fn topk(
+        &self,
+        name: &str,
+        k: usize,
+        engine: &str,
+        cancel: &Cancel,
+        trace: &mut Trace,
+    ) -> Result<Reply, String> {
+        let timer = PhaseTimer::start(Phase::Snapshot);
         let ds = self.catalog.get(name)?;
         let snap = ds.snapshot();
+        trace.end(timer);
         let n = snap.graph.n();
         let want = k.min(n);
 
@@ -563,18 +710,21 @@ impl Service {
                 && snap.maintained.is_none()
             {
                 // 2. Lazy dataset that deferred its refresh: pay it now.
-                match ds.refresh_maintained(snap.epoch) {
+                let timer = PhaseTimer::start(Phase::Compute);
+                let refreshed = ds.refresh_maintained(snap.epoch);
+                trace.end(timer);
+                match refreshed {
                     Some(full) => (Arc::new(full[..want].to_vec()), TopkSource::Refreshed),
                     // Writer already moved on; answer for *our* snapshot
                     // via the engine path so the epoch stays truthful.
-                    None => self.run_engine_cached(&ds, &snap, "auto", k, cancel)?,
+                    None => self.run_engine_cached(&ds, &snap, "auto", k, cancel, trace)?,
                 }
             } else {
                 // 3./4. Cache, then the default engine.
-                self.run_engine_cached(&ds, &snap, "auto", k, cancel)?
+                self.run_engine_cached(&ds, &snap, "auto", k, cancel, trace)?
             }
         } else {
-            self.run_engine_cached(&ds, &snap, engine, k, cancel)?
+            self.run_engine_cached(&ds, &snap, engine, k, cancel, trace)?
         };
         debug_assert_eq!(entries.len(), want);
         Ok(Reply::Topk {
@@ -586,34 +736,47 @@ impl Service {
         })
     }
 
-    fn score(&self, name: &str, vertices: &[VertexId], cancel: &Cancel) -> Result<Reply, String> {
+    fn score(
+        &self,
+        name: &str,
+        vertices: &[VertexId],
+        cancel: &Cancel,
+        trace: &mut Trace,
+    ) -> Result<Reply, String> {
+        let timer = PhaseTimer::start(Phase::Snapshot);
         let ds = self.catalog.get(name)?;
         let snap = ds.snapshot();
+        trace.end(timer);
         let n = snap.graph.n();
         let mut entries = Vec::with_capacity(vertices.len());
         let mut cached = 0usize;
+        let timer = PhaseTimer::start(Phase::Compute);
         for &v in vertices {
             if (v as usize) >= n {
+                trace.end(timer);
                 return Err(format!("vertex {v} out of range (n={n})"));
             }
             // One ego is the unit of work here; poll between egos so a
             // long SCORE list honors its deadline too.
-            cancel
-                .check()
-                .map_err(|Cancelled| self.cancelled_err(cancel))?;
+            if let Err(Cancelled) = cancel.check() {
+                trace.end(timer);
+                return Err(self.cancelled_err(cancel));
+            }
             let key = CacheKey::Score(v);
             let score = if let Some(hit) = snap.cache_get(&key) {
-                ds.cache_hits.fetch_add(1, Ordering::Relaxed);
+                ds.metrics().cache_hits.inc();
                 cached += 1;
                 hit[0].1
             } else {
-                ds.cache_misses.fetch_add(1, Ordering::Relaxed);
+                ds.metrics().cache_misses.inc();
                 let s = ego_betweenness_of(&*snap.graph, v);
+                trace.work.exact += 1;
                 snap.cache_put(key, Arc::new(vec![(v, s)]));
                 s
             };
             entries.push((v, score));
         }
+        trace.end(timer);
         Ok(Reply::Score {
             name: name.to_string(),
             epoch: snap.epoch,
@@ -652,18 +815,21 @@ impl Service {
             maintained: snap.maintained.as_ref().map(|m| m.len()),
             stale_members: snap.stale_members,
             ops_applied: ds.ops_applied(),
-            cache_hits: ds.cache_hits.load(Ordering::Relaxed),
-            cache_misses: ds.cache_misses.load(Ordering::Relaxed),
-            coalesced: ds.coalesced.load(Ordering::Relaxed),
+            cache_hits: ds.metrics().cache_hits.get(),
+            cache_misses: ds.metrics().cache_misses.get(),
+            coalesced: ds.metrics().coalesced.get(),
             shard: self.catalog.shard_of(name),
             persisted: ds.persisted(),
             wal_records: ds.wal_records(),
-            approx_samples: ds.approx_samples.load(Ordering::Relaxed),
-            approx_rounds: ds.approx_rounds.load(Ordering::Relaxed),
-            shed: self.overload.shed.load(Ordering::Relaxed),
-            timeouts: self.overload.timeouts.load(Ordering::Relaxed),
-            cancelled: self.overload.cancelled.load(Ordering::Relaxed),
-            inflight: self.overload.inflight.load(Ordering::Relaxed),
+            approx_samples: ds.metrics().approx_samples.get(),
+            approx_rounds: ds.metrics().approx_rounds.get(),
+            shed: self.overload.shed.get(),
+            timeouts: self.overload.timeouts.get(),
+            cancelled: self.overload.cancelled.get(),
+            inflight: self.overload.inflight.get(),
+            exact: ds.metrics().exact.get(),
+            pruned: ds.metrics().pruned.get(),
+            triangles: ds.metrics().triangles.get(),
         })
     }
 
@@ -678,16 +844,30 @@ impl Service {
     /// batch is acked or not, never half-cancelled (retries stay safe via
     /// the `seq` idempotency token).
     pub fn execute_with(&self, cmd: &Command, cancel: &Cancel) -> Result<Reply, String> {
+        self.execute_traced(cmd, cancel, &mut Trace::start())
+    }
+
+    /// [`Service::execute_with`] recording phase timings and engine work
+    /// counters into `trace` — the request-path entry, shared by the
+    /// `TRACE` prefix and the slow-query log.
+    fn execute_traced(
+        &self,
+        cmd: &Command,
+        cancel: &Cancel,
+        trace: &mut Trace,
+    ) -> Result<Reply, String> {
         match cmd {
             Command::Load { name, path, mode } => self.load_path(name, path, *mode),
-            Command::Topk { name, k, engine } => self.topk(name, *k, engine, cancel),
-            Command::Score { name, vertices } => self.score(name, vertices, cancel),
+            Command::Topk { name, k, engine } => self.topk(name, *k, engine, cancel, trace),
+            Command::Score { name, vertices } => self.score(name, vertices, cancel, trace),
             Command::Common { name, u, v } => self.common(name, *u, *v),
             Command::Update { name, ops, seq } => {
                 // Routed through the dataset's shard writer pool: a storm
                 // on one shard never blocks other shards' writers.
-                let out = self.catalog.apply_updates_seq(name, ops.clone(), *seq)?;
-                Ok(Reply::Update(name.clone(), out))
+                let timer = PhaseTimer::start(Phase::Compute);
+                let out = self.catalog.apply_updates_seq(name, ops.clone(), *seq);
+                trace.end(timer);
+                Ok(Reply::Update(name.clone(), out?))
             }
             Command::Stats { name } => self.stats(name),
             Command::List => Ok(Reply::List(self.catalog.names())),
@@ -704,6 +884,32 @@ impl Service {
                 })
             }
             Command::Ping => Ok(Reply::Pong),
+            Command::Metrics => Ok(Reply::Metrics(self.metrics.registry().render())),
+            Command::Slowlog => {
+                let entries = self.metrics.slowlog().drain();
+                Ok(Reply::Slowlog {
+                    dropped: self.metrics.slowlog().dropped(),
+                    entries,
+                })
+            }
+        }
+    }
+
+    /// The verb and dataset labels one parsed command reports under.
+    fn cmd_meta(cmd: &Command) -> (&'static str, &str) {
+        match cmd {
+            Command::Load { name, .. } => ("LOAD", name),
+            Command::Topk { name, .. } => ("TOPK", name),
+            Command::Score { name, .. } => ("SCORE", name),
+            Command::Common { name, .. } => ("COMMON", name),
+            Command::Update { name, .. } => ("UPDATE", name),
+            Command::Stats { name } => ("STATS", name),
+            Command::List => ("LIST", ""),
+            Command::Drop { name } => ("DROP", name),
+            Command::Compact { name } => ("COMPACT", name),
+            Command::Ping => ("PING", ""),
+            Command::Metrics => ("METRICS", ""),
+            Command::Slowlog => ("SLOWLOG", ""),
         }
     }
 
@@ -719,7 +925,44 @@ impl Service {
     /// service's default deadline — derives a tighter per-line token, and
     /// an already expired token is refused before any work starts.
     pub fn handle_line_with(&self, line: &str, cancel: &Cancel) -> String {
-        let result = split_deadline(line).and_then(|(ms, rest)| {
+        self.handle_line_observed(line, cancel, true, None)
+    }
+
+    /// [`Service::handle_line_with`] with externally measured queue-wait
+    /// nanoseconds folded into the trace (the TCP server hands down how
+    /// long the connection sat in the acceptor queue).
+    pub fn handle_line_queued(&self, line: &str, cancel: &Cancel, queue_ns: u64) -> String {
+        self.handle_line_observed(line, cancel, true, Some(queue_ns))
+    }
+
+    /// The fully observed request path: outcome accounting (see
+    /// [`crate::obs`] for the invariant), span tracing, per-verb latency,
+    /// slow-query capture, and the opt-in `TRACE` reply suffix.
+    ///
+    /// `sole` says whether this line is the only line of its frame —
+    /// `METRICS` and `SLOWLOG` render multi-line replies, which would
+    /// corrupt the one-response-line-per-command-line pairing if another
+    /// command shared the frame, so they are refused mid-frame.
+    fn handle_line_observed(
+        &self,
+        line: &str,
+        cancel: &Cancel,
+        sole: bool,
+        queue_ns: Option<u64>,
+    ) -> String {
+        self.metrics.admitted.inc();
+        let mut trace = Trace::start();
+        if let Some(ns) = queue_ns {
+            trace.add_ns(Phase::Queue, ns);
+        }
+        let mut want_trace = false;
+        let mut verb = "?";
+        let mut dataset = String::new();
+        let result = (|| -> Result<Reply, String> {
+            let timer = PhaseTimer::start(Phase::Parse);
+            let (traced, rest) = split_trace(line)?;
+            want_trace = traced;
+            let (ms, rest) = split_deadline(rest)?;
             let budget = ms.map(Duration::from_millis).or(self.default_deadline);
             let cancel = match budget {
                 Some(d) => cancel.with_deadline(Instant::now() + d),
@@ -730,12 +973,51 @@ impl Service {
             cancel
                 .check()
                 .map_err(|Cancelled| self.cancelled_err(&cancel))?;
-            parse_command(rest).and_then(|cmd| self.execute_with(&cmd, &cancel))
-        });
-        match result {
+            let cmd = parse_command(rest)?;
+            trace.end(timer);
+            let (v, ds) = Self::cmd_meta(&cmd);
+            verb = v;
+            dataset = ds.to_string();
+            if matches!(cmd, Command::Metrics | Command::Slowlog) && !sole {
+                return Err(format!("{verb} must be the only line in its frame"));
+            }
+            if matches!(cmd, Command::Metrics) {
+                // Count this request's completion *before* rendering the
+                // exposition, so admitted == completed+cancelled+failed
+                // holds within the scrape it returns.
+                self.metrics.completed.inc();
+            }
+            self.execute_traced(&cmd, &cancel, &mut trace)
+        })();
+        let timer = PhaseTimer::start(Phase::Serialize);
+        let mut rendered = match &result {
             Ok(reply) => reply.render(),
             Err(e) => format!("ERR {e}"),
+        };
+        trace.end(timer);
+        match &result {
+            Ok(Reply::Metrics(_)) => {} // counted before the render above
+            Ok(_) => self.metrics.completed.inc(),
+            Err(e) if e == "deadline exceeded" || e.starts_with("cancelled") => {
+                self.metrics.cancelled.inc();
+            }
+            Err(_) => self.metrics.failed.inc(),
         }
+        let total_ns = trace.total_ns();
+        self.metrics.latency(verb).record(total_ns);
+        self.metrics.slowlog().maybe_record(total_ns, || SlowEntry {
+            seq: 0, // assigned by the log
+            unix_ms: unix_ms(),
+            verb: verb.to_string(),
+            dataset: dataset.clone(),
+            total_ns,
+            breakdown: trace.summary(),
+        });
+        if want_trace && !rendered.contains('\n') {
+            rendered.push_str(" trace=");
+            rendered.push_str(&trace.summary());
+        }
+        rendered
     }
 
     /// Handles one request payload: one response line per command line.
@@ -745,13 +1027,22 @@ impl Service {
 
     /// [`Service::handle_payload`] under a request-scoped token.
     pub fn handle_payload_with(&self, payload: &str, cancel: &Cancel) -> String {
-        let mut out = String::new();
-        for line in payload.lines().filter(|l| !l.trim().is_empty()) {
-            out.push_str(&self.handle_line_with(line, cancel));
-            out.push('\n');
+        self.handle_payload_queued(payload, cancel, 0)
+    }
+
+    /// [`Service::handle_payload_with`] with the frame's queue-wait
+    /// nanoseconds attributed to its first command line.
+    pub fn handle_payload_queued(&self, payload: &str, cancel: &Cancel, queue_ns: u64) -> String {
+        let lines: Vec<&str> = payload.lines().filter(|l| !l.trim().is_empty()).collect();
+        if lines.is_empty() {
+            return "ERR empty request".into();
         }
-        if out.is_empty() {
-            out.push_str("ERR empty request\n");
+        let sole = lines.len() == 1;
+        let mut out = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            let queue = (i == 0).then_some(queue_ns);
+            out.push_str(&self.handle_line_observed(line, cancel, sole, queue));
+            out.push('\n');
         }
         out.pop(); // single trailing newline off; frames carry the length
         out

@@ -48,9 +48,11 @@ use crate::catalog::Mode;
 use egobtw_dynamic::EdgeOp;
 use egobtw_graph::io::{fnv1a64, read_snapshot_file, write_snapshot_file};
 use egobtw_graph::CsrGraph;
+use egobtw_telemetry::Counter;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// WAL file name inside a dataset directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -222,12 +224,25 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, at)
 }
 
+/// Telemetry handles a [`Wal`] bumps as it works. Detached counters by
+/// default (nothing registered, nothing rendered); the catalog swaps in
+/// registry-backed handles labeled with the dataset name.
+#[derive(Clone, Default)]
+pub struct WalMetrics {
+    /// Records appended (one per published epoch).
+    pub appends: Arc<Counter>,
+    /// Explicit data syncs issued (per-append under
+    /// [`FsyncPolicy::Always`], plus drain barriers and truncations).
+    pub fsyncs: Arc<Counter>,
+}
+
 /// An open, append-positioned write-ahead log.
 pub struct Wal {
     file: File,
     fsync: FsyncPolicy,
     /// Records currently in the file (valid ones; reset by [`Wal::truncate`]).
     records: u64,
+    metrics: WalMetrics,
 }
 
 impl Wal {
@@ -242,6 +257,7 @@ impl Wal {
             file,
             fsync,
             records: 0,
+            metrics: WalMetrics::default(),
         })
     }
 
@@ -272,6 +288,7 @@ impl Wal {
                 file,
                 fsync,
                 records: records_count,
+                metrics: WalMetrics::default(),
             },
             torn,
         ))
@@ -291,9 +308,16 @@ impl Wal {
         self.file.write_all(&frame)?;
         if self.fsync == FsyncPolicy::Always {
             self.file.sync_data()?;
+            self.metrics.fsyncs.inc();
         }
         self.records += 1;
+        self.metrics.appends.inc();
         Ok(())
+    }
+
+    /// Swaps in registry-backed telemetry handles (detached by default).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// Forces every appended byte to stable storage, regardless of the
@@ -301,7 +325,9 @@ impl Wal {
     /// clean exit under [`FsyncPolicy::Never`] still leaves every acked
     /// record recoverable.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.metrics.fsyncs.inc();
+        Ok(())
     }
 
     /// Empties the WAL (after a snapshot made its records redundant).
@@ -310,6 +336,7 @@ impl Wal {
         self.file.seek(SeekFrom::Start(0))?;
         if self.fsync == FsyncPolicy::Always {
             self.file.sync_data()?;
+            self.metrics.fsyncs.inc();
         }
         self.records = 0;
         Ok(())

@@ -41,6 +41,7 @@ fn drop_during_update_storm_quiesces_and_deletes() {
             fsync: FsyncPolicy::Never,
             compact_every: 4, // keep compactions in the race too
         }),
+        ..CatalogConfig::default()
     }));
     let g0 = egobtw_gen::gnp(24, 0.15, 21);
     let n = g0.n() as u32;

@@ -7,7 +7,6 @@ use egobtw_service::server::{connect_with_retry, roundtrip};
 use egobtw_service::{RetryPolicy, Server, ServerConfig, Service, MAX_UPDATE_OPS, SHED_RETRY_MS};
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -100,13 +99,13 @@ fn saturated_acceptor_sheds_with_err_busy() {
     let reply = roundtrip(&mut reader, &mut writer, "PING").unwrap_or_else(|e| {
         panic!(
             "no reply (shed={} inflight={}): {e}",
-            service.overload().shed.load(Ordering::Relaxed),
-            service.overload().inflight.load(Ordering::Relaxed)
+            service.overload().shed.get(),
+            service.overload().inflight.get()
         )
     });
     assert_eq!(reply, format!("ERR busy retry_after_ms={SHED_RETRY_MS}"));
     assert!(
-        service.overload().shed.load(Ordering::Relaxed) >= 1,
+        service.overload().shed.get() >= 1,
         "shed counter must record the refusal"
     );
     server.shutdown();
@@ -132,7 +131,7 @@ fn expired_deadline_is_refused_and_counted() {
         reply.starts_with("ERR") && reply.contains("deadline"),
         "expired budget must say deadline, got {reply:?}"
     );
-    assert!(service.overload().timeouts.load(Ordering::Relaxed) >= 1);
+    assert!(service.overload().timeouts.get() >= 1);
 
     let reply = roundtrip(
         &mut reader,

@@ -367,14 +367,13 @@ fn concurrent_identical_cold_topks_coalesce_to_one_computation() {
         );
     }
     let ds = service.catalog().get("co").unwrap();
-    use std::sync::atomic::Ordering;
     assert_eq!(
-        ds.cache_misses.load(Ordering::Relaxed),
+        ds.metrics().cache_misses.get(),
         1,
         "single-flight: one computation for 8 identical requests"
     );
     assert_eq!(
-        ds.coalesced.load(Ordering::Relaxed) + ds.cache_hits.load(Ordering::Relaxed),
+        ds.metrics().coalesced.get() + ds.metrics().cache_hits.get(),
         7,
         "every other request joined the flight or hit its published result"
     );
@@ -481,8 +480,8 @@ fn stats_reports_approx_sampling_counters() {
     );
     exec(&service, "TOPK s 8 approx:0.05,0.01");
     let ds = service.catalog().get("s").unwrap();
-    let samples = ds.approx_samples.load(std::sync::atomic::Ordering::Relaxed);
-    let rounds = ds.approx_rounds.load(std::sync::atomic::Ordering::Relaxed);
+    let samples = ds.metrics().approx_samples.get();
+    let rounds = ds.metrics().approx_rounds.get();
     assert!(samples > 0, "sampler drew nothing on a 400-vertex graph");
     assert!(rounds > 0);
     let after = service.handle_line("STATS s");
@@ -493,10 +492,7 @@ fn stats_reports_approx_sampling_counters() {
     );
     // Cache hits don't re-run the sampler, so the counters hold still.
     exec(&service, "TOPK s 8 approx:0.05,0.01");
-    assert_eq!(
-        ds.approx_samples.load(std::sync::atomic::Ordering::Relaxed),
-        samples
-    );
+    assert_eq!(ds.metrics().approx_samples.get(), samples);
 }
 
 #[test]

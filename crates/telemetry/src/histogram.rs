@@ -1,0 +1,325 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Bucket `i` holds every value whose bit length is `i`: bucket 0 is
+//! `{0}`, bucket 1 is `{1}`, bucket `i` is `[2^(i-1), 2^i - 1]`, bucket
+//! 64 is `[2^63, u64::MAX]`. That gives constant memory (65 atomics),
+//! lock-free recording, exact mergeability (bucket-wise addition), and
+//! quantiles recoverable to within one power-of-two bucket — the
+//! resolution every "agrees within one histogram bucket" check in this
+//! workspace is phrased against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (bit lengths 0..=64).
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: its bit length (`0` only for `v == 0`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value falling in bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// 1-based closest rank of quantile `q` among `n` ordered observations
+/// (`q` clamped to `[0, 1]`; 0 when `n == 0`).
+pub fn closest_rank(n: usize, q: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Linearly interpolated percentile over an ascending-sorted slice.
+///
+/// Unlike nearest-rank rounding (which silently clamps small-sample tail
+/// quantiles like p999 to the max), interpolation between the two
+/// closest ranks degrades gracefully; pair the value with `sorted.len()`
+/// when reporting so consumers can judge significance.
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let base = sorted[lo] as f64;
+    Some(base + (sorted[hi] as f64 - base) * (pos - lo as f64))
+}
+
+/// Lock-free log2 histogram: 65 bucket counters plus a saturating sum.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (relaxed atomics; never blocks).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // Saturating, not wrapping: a u64::MAX observation must not make
+        // the exposed `_sum` lie by wrapping back toward zero.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+    }
+
+    /// A point-in-time copy. Concurrent `record`s may or may not be
+    /// included, but every bucket count is monotone, so a snapshot never
+    /// goes backwards relative to an earlier one.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state; mergeable and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (index = bit length of the value).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the bucket containing the closest-rank observation
+    /// for quantile `q`, or `None` when empty. The true quantile lies
+    /// within one log2 bucket of the returned value.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = closest_rank(count as usize, q) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        unreachable!("rank {rank} exceeds total count {count}")
+    }
+
+    /// Bucket-wise addition; merging is associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn zero_observations() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_observation_every_quantile_hits_its_bucket() {
+        let h = Histogram::new();
+        h.record(700);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum, 700);
+        for q in [0.0, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), Some(bucket_upper_bound(bucket_index(700))));
+        }
+    }
+
+    #[test]
+    fn u64_max_duration_lands_in_last_bucket_and_sum_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[64], 2);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(s.quantile(0.999), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_track_ranks() {
+        let h = Histogram::new();
+        // 90 fast (bucket of 100 = 7), 9 medium (bucket of 10_000 = 14),
+        // 1 slow (bucket of 1_000_000 = 20).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(bucket_upper_bound(7)));
+        assert_eq!(s.quantile(0.9), Some(bucket_upper_bound(7)));
+        assert_eq!(s.quantile(0.95), Some(bucket_upper_bound(14)));
+        assert_eq!(s.quantile(0.999), Some(bucket_upper_bound(20)));
+        assert_eq!(s.quantile(1.0), Some(bucket_upper_bound(20)));
+    }
+
+    #[test]
+    fn concurrent_record_vs_snapshot_never_tears() {
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(1 << (t * 4));
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let mut last_count = 0u64;
+        for _ in 0..200 {
+            let s = h.snapshot();
+            let c = s.count();
+            assert!(c >= last_count, "snapshot count went backwards");
+            last_count = c;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count(), total);
+    }
+
+    /// Property test: merge is associative (and commutative) on randomly
+    /// generated snapshots — `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn merge_associativity_property() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut snaps: Vec<HistogramSnapshot> = Vec::new();
+            for _ in 0..3 {
+                let h = Histogram::new();
+                for _ in 0..(next() % 50) {
+                    h.record(next() >> (next() % 64));
+                }
+                snaps.push(h.snapshot());
+            }
+            let (a, b, c) = (&snaps[0], &snaps[1], &snaps[2]);
+            let mut left = a.clone();
+            left.merge(b);
+            left.merge(c);
+            let mut bc = b.clone();
+            bc.merge(c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge must be associative");
+            let mut ba = b.clone();
+            ba.merge(a);
+            let mut ab = a.clone();
+            ab.merge(b);
+            assert_eq!(ab, ba, "merge must be commutative");
+        }
+    }
+
+    #[test]
+    fn closest_rank_edges() {
+        assert_eq!(closest_rank(0, 0.5), 0);
+        assert_eq!(closest_rank(1, 0.0), 1);
+        assert_eq!(closest_rank(1, 1.0), 1);
+        assert_eq!(closest_rank(10, 0.5), 5);
+        assert_eq!(closest_rank(10, 0.999), 10);
+        assert_eq!(closest_rank(1000, 0.999), 999);
+    }
+
+    #[test]
+    fn percentile_sorted_interpolates_instead_of_clamping() {
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        assert_eq!(percentile_sorted(&[42], 0.999), Some(42.0));
+        let v: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), Some(100.0));
+        assert_eq!(percentile_sorted(&v, 1.0), Some(1000.0));
+        let p50 = percentile_sorted(&v, 0.5).unwrap();
+        assert!((p50 - 550.0).abs() < 1e-9, "p50 = {p50}");
+        // The old nearest-rank rounding returned the max for p999 on a
+        // 10-sample set; interpolation stays strictly below it.
+        let p999 = percentile_sorted(&v, 0.999).unwrap();
+        assert!(p999 < 1000.0 && p999 > 990.0, "p999 = {p999}");
+    }
+}

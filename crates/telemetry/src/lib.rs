@@ -1,0 +1,34 @@
+//! Std-only observability toolkit for the egobtw service.
+//!
+//! Four pieces, composable but independent:
+//!
+//! * [`Registry`] — sharded get-or-create metric registry handing out
+//!   lock-free [`Counter`]/[`Gauge`]/[`Histogram`] handles, rendered to
+//!   Prometheus text exposition by [`Registry::render`] and parsed back
+//!   (for schema gates and scrapers) by [`prometheus::parse`];
+//! * [`span`] — stack-allocated per-request phase tracing with engine
+//!   work counters folded in, rendered as a single `trace=`-able token;
+//! * [`SlowLog`] — ring-buffered capture of span breakdowns for requests
+//!   crossing a runtime threshold;
+//! * [`logger`] — leveled `key=value` structured logging with pluggable
+//!   sinks (stderr in production, an in-memory buffer in tests).
+//!
+//! Everything here is dependency-free and makes no assumptions about the
+//! serving stack; the `service` crate owns the metric names.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod logger;
+pub mod prometheus;
+pub mod registry;
+pub mod slowlog;
+pub mod span;
+
+pub use histogram::{
+    bucket_index, bucket_upper_bound, closest_rank, percentile_sorted, Histogram, HistogramSnapshot,
+};
+pub use logger::{global, set_global, BufferSink, Level, LogSink, Logger, StderrSink};
+pub use registry::{Counter, Gauge, MetricKind, Registry};
+pub use slowlog::{unix_ms, SlowEntry, SlowLog};
+pub use span::{Phase, PhaseTimer, Trace, WorkCounters};

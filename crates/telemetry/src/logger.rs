@@ -1,0 +1,227 @@
+//! Leveled structured logger with `key=value` lines.
+//!
+//! Lines look like `ts_ms=1723... level=warn event=worker-panic worker=3`
+//! — one event name plus free-form fields, values quoted only when they
+//! contain whitespace, quotes, or `=`. Sinks are pluggable: production
+//! uses [`StderrSink`], tests capture lines in-memory with
+//! [`BufferSink`]. A process-global logger ([`set_global`]/[`global`])
+//! serves call sites that have no handle to thread one through.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 0,
+    /// Degraded but continuing (panicked worker, failed compaction).
+    Warn = 1,
+    /// Lifecycle events (startup, recovery, drain).
+    Info = 2,
+    /// Per-request noise for debugging.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses a level name as accepted by `--log-level`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Where formatted log lines go.
+pub trait LogSink: Send + Sync {
+    /// Emits one already-formatted line (no trailing newline).
+    fn write_line(&self, line: &str);
+}
+
+/// Writes lines to stderr.
+pub struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn write_line(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// Captures lines in memory — the test sink.
+#[derive(Default)]
+pub struct BufferSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything logged so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+}
+
+impl LogSink for BufferSink {
+    fn write_line(&self, line: &str) {
+        self.lines.lock().unwrap().push(line.to_string());
+    }
+}
+
+fn quote_value(v: &str) -> String {
+    if !v.is_empty() && !v.chars().any(|c| c.is_whitespace() || c == '"' || c == '=') {
+        return v.to_string();
+    }
+    format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// A leveled `key=value` logger bound to a sink.
+pub struct Logger {
+    level: AtomicU8,
+    sink: Arc<dyn LogSink>,
+}
+
+impl Logger {
+    /// A logger at `level` writing to `sink`.
+    pub fn new(level: Level, sink: Arc<dyn LogSink>) -> Self {
+        Logger {
+            level: AtomicU8::new(level as u8),
+            sink,
+        }
+    }
+
+    /// Changes the minimum level at runtime.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// True when events at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        (level as u8) <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Emits `event` with `fields` at `level` (a no-op below the
+    /// configured level).
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, &str)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut line = format!(
+            "ts_ms={} level={} event={}",
+            crate::slowlog::unix_ms(),
+            level.as_str(),
+            quote_value(event)
+        );
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&quote_value(v));
+        }
+        self.sink.write_line(&line);
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Error, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Debug, event, fields);
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Logger>> = OnceLock::new();
+
+/// Installs the process-global logger; the first caller wins and later
+/// calls are ignored (returning false).
+pub fn set_global(logger: Arc<Logger>) -> bool {
+    GLOBAL.set(logger).is_ok()
+}
+
+/// The process-global logger (defaults to [`Level::Info`] on stderr if
+/// [`set_global`] was never called).
+pub fn global() -> Arc<Logger> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Logger::new(Level::Info, Arc::new(StderrSink)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gating_and_format() {
+        let sink = Arc::new(BufferSink::new());
+        let log = Logger::new(Level::Warn, sink.clone());
+        log.info("ignored", &[]);
+        log.debug("ignored", &[]);
+        log.warn(
+            "compaction-failed",
+            &[("dataset", "web"), ("err", "disk full")],
+        );
+        log.error("boom", &[("code", "7")]);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("level=warn event=compaction-failed dataset=web err=\"disk full\"")
+        );
+        assert!(lines[0].starts_with("ts_ms="));
+        assert!(lines[1].contains("level=error event=boom code=7"));
+    }
+
+    #[test]
+    fn set_level_reopens_the_gate() {
+        let sink = Arc::new(BufferSink::new());
+        let log = Logger::new(Level::Error, sink.clone());
+        log.debug("nope", &[]);
+        log.set_level(Level::Debug);
+        log.debug("yep", &[]);
+        assert_eq!(sink.lines().len(), 1);
+        assert!(log.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn values_with_specials_are_quoted() {
+        assert_eq!(quote_value("plain"), "plain");
+        assert_eq!(quote_value("has space"), "\"has space\"");
+        assert_eq!(quote_value("a=b"), "\"a=b\"");
+        assert_eq!(quote_value("q\"uote"), "\"q\\\"uote\"");
+        assert_eq!(quote_value(""), "\"\"");
+    }
+
+    #[test]
+    fn level_parse_round_trip() {
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}

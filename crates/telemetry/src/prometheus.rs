@@ -1,0 +1,475 @@
+//! Parser for the Prometheus text exposition format.
+//!
+//! Covers the subset [`crate::Registry::render`] emits — `# HELP`,
+//! `# TYPE`, and `name{label="value",…} value` sample lines — strictly
+//! enough to act as the schema gate for scrapes: unknown line shapes,
+//! malformed labels, or non-numeric values are hard errors, and
+//! [`Exposition::validate`] checks the structural invariants consumers
+//! rely on (buckets cumulative, `_count` consistent with `+Inf`).
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (may carry `_bucket`/`_sum`/`_count`).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when every `(key, value)` in `want` appears in this sample's
+    /// labels.
+    pub fn matches(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// One metric family: metadata plus its samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Family {
+    /// `# HELP` text (empty if absent).
+    pub help: String,
+    /// `# TYPE` string (`counter` | `gauge` | `histogram`; empty if absent).
+    pub kind: String,
+    /// Samples belonging to this family.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed exposition document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Exposition {
+    /// Families keyed by base metric name.
+    pub families: BTreeMap<String, Family>,
+}
+
+/// Strips a histogram sample suffix to recover the family name.
+fn family_name(sample: &str, families: &BTreeMap<String, Family>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample.strip_suffix(suffix) {
+            if families.get(base).is_some_and(|f| f.kind == "histogram") {
+                return base.to_string();
+            }
+        }
+    }
+    sample.to_string()
+}
+
+fn parse_labels(body: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err(format!("line {line_no}: empty label name"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {line_no}: label value must be quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: bad escape {:?}",
+                            other.map(|(_, c)| c)
+                        ))
+                    }
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((key, value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Parses an exposition document. Unknown comment directives, malformed
+/// sample lines, or unparsable values are errors.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut it = comment.splitn(3, ' ');
+            let directive = it.next().unwrap_or_default();
+            let name = it
+                .next()
+                .ok_or_else(|| format!("line {line_no}: {directive} without a metric name"))?;
+            let rest = it.next().unwrap_or_default();
+            match directive {
+                "HELP" => families.entry(name.to_string()).or_default().help = rest.to_string(),
+                "TYPE" => {
+                    if !matches!(
+                        rest,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {line_no}: unknown metric type {rest:?}"));
+                    }
+                    families.entry(name.to_string()).or_default().kind = rest.to_string();
+                }
+                other => return Err(format!("line {line_no}: unknown directive {other:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+        // name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {line_no}: unterminated label set"))?;
+                if close < brace {
+                    return Err(format!("line {line_no}: mismatched braces"));
+                }
+                (&line[..close + 1], line[close + 1..].trim())
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+                (&line[..sp], line[sp + 1..].trim())
+            }
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(brace) => (
+                &name_part[..brace],
+                parse_labels(&name_part[brace + 1..name_part.len() - 1], line_no)?,
+            ),
+            None => (name_part, Vec::new()),
+        };
+        if name.is_empty() {
+            return Err(format!("line {line_no}: empty metric name"));
+        }
+        let value = match value_part {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|e| format!("line {line_no}: bad value {v:?}: {e}"))?,
+        };
+        let base = family_name(name, &families);
+        families.entry(base).or_default().samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(Exposition { families })
+}
+
+/// Cumulative histogram reconstructed from `_bucket` samples, aggregated
+/// across every series matching a label subset.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedHistogram {
+    /// `(le, cumulative count)` ascending by `le`; `None` is `+Inf`.
+    pub buckets: Vec<(Option<u64>, u64)>,
+    /// Total observations (`+Inf` bucket).
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl ParsedHistogram {
+    /// Upper bound of the bucket containing the closest-rank observation
+    /// for quantile `q` (`u64::MAX` when it falls in `+Inf`), or `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = crate::histogram::closest_rank(self.count as usize, q) as u64;
+        for &(le, cum) in &self.buckets {
+            if cum >= rank {
+                return Some(le.unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+impl Exposition {
+    /// The value of the single sample `name{labels ⊇ want}`; `None` when
+    /// no sample matches, an error listing the matches when several do.
+    pub fn value(&self, name: &str, want: &[(&str, &str)]) -> Result<Option<f64>, String> {
+        let matches: Vec<&Sample> = self
+            .families
+            .values()
+            .flat_map(|f| &f.samples)
+            .filter(|s| s.name == name && s.matches(want))
+            .collect();
+        match matches.len() {
+            0 => Ok(None),
+            1 => Ok(Some(matches[0].value)),
+            n => Err(format!("{n} samples match {name}{want:?}")),
+        }
+    }
+
+    /// Reconstructs the histogram family `name`, aggregating every series
+    /// whose labels contain `want` (bucket-wise sum, valid because all
+    /// series share the same `le` grid).
+    pub fn histogram(&self, name: &str, want: &[(&str, &str)]) -> Option<ParsedHistogram> {
+        let fam = self.families.get(name)?;
+        let mut by_le: BTreeMap<Option<u64>, u64> = BTreeMap::new();
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        let mut any = false;
+        for s in &fam.samples {
+            if !s.matches(want) {
+                continue;
+            }
+            if s.name == format!("{name}_bucket") {
+                any = true;
+                let le = match s.label("le")? {
+                    "+Inf" => None,
+                    v => Some(v.parse::<u64>().ok()?),
+                };
+                *by_le.entry(le).or_default() += s.value as u64;
+            } else if s.name == format!("{name}_sum") {
+                sum += s.value;
+            } else if s.name == format!("{name}_count") {
+                count += s.value as u64;
+            }
+        }
+        if !any {
+            return None;
+        }
+        // BTreeMap orders Some(_) ascending with None first; move +Inf last.
+        let inf = by_le.remove(&None);
+        let mut buckets: Vec<(Option<u64>, u64)> = by_le.into_iter().collect();
+        if let Some(c) = inf {
+            buckets.push((None, c));
+        }
+        Some(ParsedHistogram {
+            buckets,
+            count,
+            sum,
+        })
+    }
+
+    /// Structural schema checks: every name in `required` has at least
+    /// one sample, histogram buckets are cumulative per series, and each
+    /// histogram's `+Inf` bucket equals its `_count`. Returns the list of
+    /// violations (empty = pass).
+    pub fn validate(&self, required: &[&str]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for name in required {
+            let present = self
+                .families
+                .get(*name)
+                .map(|f| !f.samples.is_empty())
+                .unwrap_or(false);
+            if !present {
+                violations.push(format!("required metric {name} missing from exposition"));
+            }
+        }
+        for (name, fam) in &self.families {
+            if fam.kind != "histogram" {
+                continue;
+            }
+            // Group bucket samples per label set (minus `le`): the key is
+            // the sorted label pairs, the value is (le, cumulative count)
+            // with `le = None` standing for `+Inf`.
+            type SeriesKey = Vec<(String, String)>;
+            let mut per_series: BTreeMap<SeriesKey, Vec<(Option<u64>, u64)>> = BTreeMap::new();
+            let mut counts: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+            for s in &fam.samples {
+                let mut labels: Vec<(String, String)> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                labels.sort();
+                if s.name == format!("{name}_bucket") {
+                    let le = match s.label("le") {
+                        Some("+Inf") => None,
+                        Some(v) => match v.parse::<u64>() {
+                            Ok(n) => Some(n),
+                            Err(_) => {
+                                violations.push(format!("{name}: unparsable le={v:?}"));
+                                continue;
+                            }
+                        },
+                        None => {
+                            violations.push(format!("{name}: bucket sample without le"));
+                            continue;
+                        }
+                    };
+                    per_series
+                        .entry(labels)
+                        .or_default()
+                        .push((le, s.value as u64));
+                } else if s.name == format!("{name}_count") {
+                    counts.insert(labels, s.value as u64);
+                }
+            }
+            for (labels, mut buckets) in per_series {
+                buckets.sort_by_key(|&(le, _)| (le.is_none(), le));
+                let mut last = 0u64;
+                for &(le, cum) in &buckets {
+                    if cum < last {
+                        violations.push(format!(
+                            "{name}{labels:?}: bucket le={le:?} count {cum} < previous {last}"
+                        ));
+                    }
+                    last = cum;
+                }
+                match buckets.last() {
+                    Some(&(None, inf)) => {
+                        if let Some(&c) = counts.get(&labels) {
+                            if c != inf {
+                                violations.push(format!(
+                                    "{name}{labels:?}: _count {c} != +Inf bucket {inf}"
+                                ));
+                            }
+                        }
+                    }
+                    _ => violations.push(format!("{name}{labels:?}: no +Inf bucket")),
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn round_trip_render_parse() {
+        let r = Registry::new();
+        r.counter("req_total", "requests", &[("verb", "TOPK")])
+            .add(4);
+        r.counter("req_total", "requests", &[("verb", "PING")])
+            .add(1);
+        r.gauge("inflight", "in flight", &[]).set(2);
+        let h = r.histogram("lat_ns", "latency", &[("dataset", "a b\"c\\d")]);
+        for v in [3u64, 900, 900, 1 << 20] {
+            h.record(v);
+        }
+        let text = r.render();
+        let expo = parse(&text).expect("rendered exposition must parse");
+        assert_eq!(
+            expo.value("req_total", &[("verb", "TOPK")]).unwrap(),
+            Some(4.0)
+        );
+        assert_eq!(
+            expo.value("req_total", &[("verb", "PING")]).unwrap(),
+            Some(1.0)
+        );
+        assert_eq!(expo.value("inflight", &[]).unwrap(), Some(2.0));
+        let fam = &expo.families["lat_ns"];
+        assert_eq!(fam.kind, "histogram");
+        assert_eq!(fam.help, "latency");
+        let parsed = expo
+            .histogram("lat_ns", &[("dataset", "a b\"c\\d")])
+            .expect("histogram with escaped labels survives round trip");
+        assert_eq!(parsed.count, 4);
+        assert_eq!(parsed.sum, (3 + 900 + 900 + (1 << 20)) as f64);
+        // Quantile agrees with the live histogram's own snapshot.
+        let live = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(parsed.quantile(q), live.quantile(q), "q={q}");
+        }
+        assert!(expo
+            .validate(&["req_total", "inflight", "lat_ns"])
+            .is_empty());
+    }
+
+    #[test]
+    fn validate_flags_missing_and_non_monotone() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 4
+h_bucket{le=\"+Inf\"} 6
+h_count 6
+h_sum 12
+";
+        let expo = parse(text).unwrap();
+        let violations = expo.validate(&["h", "missing_total"]);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("missing_total")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("count 4 < previous 5")));
+    }
+
+    #[test]
+    fn validate_flags_count_mismatch_and_missing_inf() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"+Inf\"} 3
+h_count 9
+# TYPE g histogram
+g_bucket{le=\"1\"} 2
+g_count 2
+";
+        let expo = parse(text).unwrap();
+        let violations = expo.validate(&[]);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("_count 9 != +Inf bucket 3")));
+        assert!(violations.iter().any(|v| v.contains("no +Inf bucket")));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("metric_without_value\n").is_err());
+        assert!(parse("m{le=1} 3\n").is_err(), "unquoted label value");
+        assert!(parse("m{x=\"unterminated} 3\n").is_err());
+        assert!(parse("m not-a-number\n").is_err());
+        assert!(parse("# FROB m x\n").is_err(), "unknown directive");
+        assert!(parse("# TYPE m flavor\n").is_err(), "unknown type");
+    }
+
+    #[test]
+    fn suffix_only_strips_for_histogram_families() {
+        // A counter legitimately named *_count must not be folded into a
+        // nonexistent histogram family.
+        let text = "\
+# TYPE retry_count counter
+retry_count 3
+";
+        let expo = parse(text).unwrap();
+        assert!(expo.families.contains_key("retry_count"));
+        assert_eq!(expo.value("retry_count", &[]).unwrap(), Some(3.0));
+    }
+}

@@ -1,0 +1,464 @@
+//! Sharded metrics registry.
+//!
+//! Registration (name + sorted labels → handle) is sharded by key hash
+//! behind per-shard `RwLock`s; the handles themselves are plain atomics,
+//! so the hot path — bumping a cached `Arc<Counter>` or recording into a
+//! cached `Arc<Histogram>` — is lock-free. Call sites are expected to
+//! hold onto the `Arc` they get back; re-looking a series up per event
+//! costs a read-lock and a hash.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Monotonic counter (never decremented).
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value; may go up or down.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (use a negative `n` to subtract).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` and returns the value after the addition — the atomic
+    /// read-modify-write an admission watermark check needs (separate
+    /// `add` + `get` would race under concurrent requests).
+    pub fn add_and_get(&self, n: i64) -> i64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a metric family is — drives the exposition `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Log2 latency histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Series {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Series::Counter(_) => MetricKind::Counter,
+            Series::Gauge(_) => MetricKind::Gauge,
+            Series::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const SHARDS: usize = 8;
+
+/// Sharded registry of named metric series.
+pub struct Registry {
+    shards: [RwLock<HashMap<SeriesKey, Series>>; SHARDS],
+    /// Per-family metadata (help + kind), keyed by metric name.
+    families: Mutex<BTreeMap<String, (String, MetricKind)>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Series>> {
+        &self.shards[(fnv1a64(key.name.as_bytes()) as usize) % SHARDS]
+    }
+
+    fn describe(&self, name: &str, help: &str, kind: MetricKind) {
+        let mut fams = self.families.lock().unwrap();
+        if let Some((_, existing)) = fams.get(name) {
+            assert_eq!(
+                *existing, kind,
+                "metric {name:?} re-registered with a different kind"
+            );
+            return;
+        }
+        fams.insert(name.to_string(), (help.to_string(), kind));
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Series,
+        unwrap: impl Fn(&Series) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        self.describe(name, help, kind);
+        let key = SeriesKey::new(name, labels);
+        let shard = self.shard(&key);
+        if let Some(series) = shard.read().unwrap().get(&key) {
+            return unwrap(series)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as another kind"));
+        }
+        let mut w = shard.write().unwrap();
+        let series = w.entry(key).or_insert_with(make);
+        assert_eq!(
+            series.kind(),
+            kind,
+            "metric {name:?} already registered as another kind"
+        );
+        unwrap(series).expect("kind just checked")
+    }
+
+    /// Gets or creates the counter series `name{labels}`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Series::Counter(Arc::new(Counter::new())),
+            |s| match s {
+                Series::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Series::Gauge(Arc::new(Gauge::new())),
+            |s| match s {
+                Series::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates the histogram series `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Series::Histogram(Arc::new(Histogram::new())),
+            |s| match s {
+                Series::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Snapshot of the histogram series `name{labels}`, if registered.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let key = SeriesKey::new(name, labels);
+        match self.shard(&key).read().unwrap().get(&key) {
+            Some(Series::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Renders every registered series in Prometheus text exposition
+    /// format: `# HELP` / `# TYPE` per family (names sorted), then one
+    /// sample line per series (label sets sorted); histograms expand to
+    /// cumulative `_bucket{le=…}` lines plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        // name → sorted (labels → snapshot) map.
+        let mut by_name: BTreeMap<String, BTreeMap<Vec<(String, String)>, SeriesValue>> =
+            BTreeMap::new();
+        for shard in &self.shards {
+            for (key, series) in shard.read().unwrap().iter() {
+                let value = match series {
+                    Series::Counter(c) => SeriesValue::Counter(c.get()),
+                    Series::Gauge(g) => SeriesValue::Gauge(g.get()),
+                    Series::Histogram(h) => SeriesValue::Histogram(Box::new(h.snapshot())),
+                };
+                by_name
+                    .entry(key.name.clone())
+                    .or_default()
+                    .insert(key.labels.clone(), value);
+            }
+        }
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, series) in &by_name {
+            if let Some((help, kind)) = families.get(name) {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+                out.push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+            }
+            for (labels, value) in series {
+                match value {
+                    SeriesValue::Counter(v) => {
+                        out.push_str(&sample_line(name, labels, None, &v.to_string()));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        out.push_str(&sample_line(name, labels, None, &v.to_string()));
+                    }
+                    SeriesValue::Histogram(snap) => {
+                        render_histogram(&mut out, name, labels, snap);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum SeriesValue {
+    Counter(u64),
+    Gauge(i64),
+    // Boxed: a snapshot is 65 bucket counts, far larger than the scalars.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn sample_line(
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{}}} {value}\n", parts.join(","))
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    use crate::histogram::{bucket_upper_bound, NUM_BUCKETS};
+    let mut cum = 0u64;
+    // Emit the populated prefix of the bucket grid (always at least the
+    // first bucket) so exposition stays compact while `le` values remain
+    // comparable across scrapes: cumulative counts are monotone in `le`
+    // by construction.
+    let highest = snap
+        .buckets
+        .iter()
+        .rposition(|&b| b > 0)
+        .unwrap_or(0)
+        .min(NUM_BUCKETS - 1);
+    for (i, &b) in snap.buckets.iter().enumerate().take(highest + 1) {
+        cum += b;
+        let le = bucket_upper_bound(i).to_string();
+        out.push_str(&sample_line(
+            &format!("{name}_bucket"),
+            labels,
+            Some(("le", &le)),
+            &cum.to_string(),
+        ));
+    }
+    let count = snap.count();
+    out.push_str(&sample_line(
+        &format!("{name}_bucket"),
+        labels,
+        Some(("le", "+Inf")),
+        &count.to_string(),
+    ));
+    out.push_str(&sample_line(
+        &format!("{name}_sum"),
+        labels,
+        None,
+        &snap.sum.to_string(),
+    ));
+    out.push_str(&sample_line(
+        &format!("{name}_count"),
+        labels,
+        None,
+        &count.to_string(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[("dataset", "a")]);
+        let b = r.counter("x_total", "help", &[("dataset", "a")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let other = r.counter("x_total", "help", &[("dataset", "b")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.counter("y_total", "h", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("y_total", "h", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("z_total", "h", &[]);
+        let _ = r.gauge("z_total", "h", &[]);
+    }
+
+    #[test]
+    fn render_contains_help_type_and_sorted_samples() {
+        let r = Registry::new();
+        r.counter("b_total", "b help", &[]).add(7);
+        r.gauge("a_gauge", "a help", &[("shard", "0")]).set(-2);
+        let h = r.histogram("lat_ns", "latency", &[("verb", "TOPK")]);
+        h.record(5);
+        h.record(100);
+        let text = r.render();
+        let a_pos = text.find("# HELP a_gauge a help").unwrap();
+        let b_pos = text.find("# HELP b_total b help").unwrap();
+        assert!(a_pos < b_pos, "families sorted by name");
+        assert!(text.contains("# TYPE a_gauge gauge"));
+        assert!(text.contains("a_gauge{shard=\"0\"} -2"));
+        assert!(text.contains("b_total 7"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{verb=\"TOPK\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ns_sum{verb=\"TOPK\"} 105"));
+        assert!(text.contains("lat_ns_count{verb=\"TOPK\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        let h = r.histogram("m_ns", "m", &[]);
+        for v in [1u64, 2, 2, 900, 70_000] {
+            h.record(v);
+        }
+        let text = r.render();
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("m_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+            saw_inf |= line.contains("le=\"+Inf\"");
+        }
+        assert!(saw_inf);
+        assert_eq!(last, 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ring-buffered slow-query log.
+//!
+//! Requests whose total latency crosses a runtime-settable threshold are
+//! captured with their full span breakdown into a bounded ring; when the
+//! ring is full the oldest entry is evicted (and counted as dropped).
+//! The fast path costs one relaxed atomic load when the log is disabled
+//! or the request is fast — entry construction is deferred to a closure
+//! that only runs for outliers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One captured outlier.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Monotone sequence number (survives draining).
+    pub seq: u64,
+    /// Unix timestamp, milliseconds.
+    pub unix_ms: u64,
+    /// Command verb (`TOPK`, `UPDATE`, …).
+    pub verb: String,
+    /// Dataset name, or empty for catalog-level commands.
+    pub dataset: String,
+    /// Total request nanoseconds.
+    pub total_ns: u64,
+    /// Span breakdown (a [`crate::span::Trace::summary`] token).
+    pub breakdown: String,
+}
+
+impl SlowEntry {
+    /// One-line rendering used by the `SLOWLOG` reply.
+    pub fn render(&self) -> String {
+        format!(
+            "#{} ts_ms={} verb={} dataset={} total_us={} {}",
+            self.seq,
+            self.unix_ms,
+            self.verb,
+            if self.dataset.is_empty() {
+                "-"
+            } else {
+                &self.dataset
+            },
+            self.total_ns / 1_000,
+            self.breakdown,
+        )
+    }
+}
+
+/// Bounded ring of [`SlowEntry`] outliers.
+pub struct SlowLog {
+    cap: usize,
+    /// Threshold in nanoseconds; 0 disables capture entirely.
+    threshold_ns: AtomicU64,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A disabled slow-query log holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        SlowLog {
+            cap: cap.max(1),
+            threshold_ns: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Sets the capture threshold in milliseconds (0 disables).
+    pub fn set_threshold_ms(&self, ms: u64) {
+        self.threshold_ns
+            .store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Sets the capture threshold in nanoseconds (0 disables); the
+    /// millisecond flag is the operator surface, this is for tests that
+    /// need every request captured.
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Current threshold in nanoseconds (0 = disabled).
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records the request if the log is enabled and `total_ns` crosses
+    /// the threshold; `make` builds the entry only in that case. Returns
+    /// true when an entry was captured.
+    pub fn maybe_record(&self, total_ns: u64, make: impl FnOnce() -> SlowEntry) -> bool {
+        let threshold = self.threshold_ns.load(Ordering::Relaxed);
+        if threshold == 0 || total_ns < threshold {
+            return false;
+        }
+        let mut entry = make();
+        entry.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Removes and returns every captured entry, oldest first.
+    pub fn drain(&self) -> Vec<SlowEntry> {
+        self.ring.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(verb: &str, total_ns: u64) -> SlowEntry {
+        SlowEntry {
+            seq: 0,
+            unix_ms: 1,
+            verb: verb.to_string(),
+            dataset: String::new(),
+            total_ns,
+            breakdown: format!("total:{}us", total_ns / 1_000),
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_threshold_gates() {
+        let log = SlowLog::new(4);
+        assert!(!log.maybe_record(u64::MAX, || entry("TOPK", u64::MAX)));
+        log.set_threshold_ms(1);
+        assert!(!log.maybe_record(999_999, || entry("TOPK", 999_999)));
+        assert!(log.maybe_record(1_000_000, || entry("TOPK", 1_000_000)));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let log = SlowLog::new(2);
+        log.set_threshold_ns(1);
+        for i in 1..=5u64 {
+            assert!(log.maybe_record(i, || entry("SCORE", i)));
+        }
+        assert_eq!(log.dropped(), 3);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].total_ns, 4);
+        assert_eq!(drained[1].total_ns, 5);
+        // Sequence numbers are monotone and survive the eviction.
+        assert_eq!(drained[0].seq, 3);
+        assert_eq!(drained[1].seq, 4);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn render_shape() {
+        let e = SlowEntry {
+            seq: 9,
+            unix_ms: 1234,
+            verb: "TOPK".into(),
+            dataset: "web".into(),
+            total_ns: 2_500_000,
+            breakdown: "total:2500us,compute:2400us,exact:12".into(),
+        };
+        assert_eq!(
+            e.render(),
+            "#9 ts_ms=1234 verb=TOPK dataset=web total_us=2500 total:2500us,compute:2400us,exact:12"
+        );
+    }
+}
